@@ -1,0 +1,50 @@
+"""Ablation: branching heuristics beyond the paper's fcfs/lxf pair.
+
+Adds sjf branching — the paper's §3.2 warns that pure shortest-job-first
+*backfill* starves long jobs; this checks how an sjf *branching heuristic*
+behaves inside the goal-oriented search, where the objective (not the
+heuristic) has the final word.
+"""
+
+from repro.core.scheduler import make_policy
+from repro.experiments.config import current_scale
+from repro.experiments.figures import HIGH_LOAD, _month_at_load
+from repro.experiments.runner import simulate
+from repro.metrics.report import format_series
+
+from conftest import emit, run_once
+
+MONTHS = ("2003-07", "2003-08")
+
+
+def _sweep():
+    exp = current_scale()
+    L = exp.L(1000)
+    runs = {}
+    for heuristic in ("fcfs", "lxf", "sjf"):
+        for month in MONTHS:
+            workload = _month_at_load(month, exp.seed, exp.job_scale, HIGH_LOAD)
+            policy = make_policy("dds", heuristic, node_limit=L)
+            runs[(heuristic, month)] = simulate(workload, policy)
+    return runs
+
+
+def test_ablation_heuristics(benchmark):
+    runs = run_once(benchmark, _sweep)
+    rows = [f"{measure} {m}" for measure in ("avg slowdown", "max wait (h)") for m in MONTHS]
+    columns = {}
+    for heuristic in ("fcfs", "lxf", "sjf"):
+        columns[f"DDS/{heuristic}"] = [
+            runs[(heuristic, m)].metrics.avg_bounded_slowdown for m in MONTHS
+        ] + [runs[(heuristic, m)].metrics.max_wait_hours for m in MONTHS]
+    text = format_series(
+        "DDS branching-heuristic ablation (dynB, rho=0.9)",
+        rows,
+        columns,
+        row_header="case",
+    )
+    emit("ablation_heuristics", text)
+    # lxf branching should not lose to fcfs branching on avg slowdown.
+    lxf_total = sum(runs[("lxf", m)].metrics.avg_bounded_slowdown for m in MONTHS)
+    fcfs_total = sum(runs[("fcfs", m)].metrics.avg_bounded_slowdown for m in MONTHS)
+    assert lxf_total <= fcfs_total * 1.05

@@ -1,0 +1,56 @@
+"""Ablation: branch-and-bound pruning inside the search.
+
+The paper lists pruning as future work; the search engine implements it
+behind a flag.  This bench measures how many node visits pruning saves at
+a fixed budget and confirms the schedule quality does not regress.
+"""
+
+from repro.core.scheduler import make_policy
+from repro.experiments.config import current_scale
+from repro.experiments.figures import HIGH_LOAD, _month_at_load
+from repro.experiments.runner import simulate
+from repro.metrics.report import format_series
+
+from conftest import emit, run_once
+
+MONTH = "2003-07"
+
+
+def _sweep():
+    exp = current_scale()
+    L = exp.L(1000)
+    workload = _month_at_load(MONTH, exp.seed, exp.job_scale, HIGH_LOAD)
+    plain = simulate(workload, make_policy("dds", "lxf", node_limit=L, prune=False))
+    pruned = simulate(workload, make_policy("dds", "lxf", node_limit=L, prune=True))
+    return plain, pruned
+
+
+def test_ablation_pruning(benchmark):
+    plain, pruned = run_once(benchmark, _sweep)
+    rows = ["avg wait (h)", "max wait (h)", "avg slowdown", "nodes visited"]
+    columns = {
+        "no pruning": [
+            plain.metrics.avg_wait_hours,
+            plain.metrics.max_wait_hours,
+            plain.metrics.avg_bounded_slowdown,
+            plain.policy_stats["total_nodes_visited"],
+        ],
+        "pruning": [
+            pruned.metrics.avg_wait_hours,
+            pruned.metrics.max_wait_hours,
+            pruned.metrics.avg_bounded_slowdown,
+            pruned.policy_stats["total_nodes_visited"],
+        ],
+    }
+    text = format_series(
+        f"DDS/lxf/dynB pruning ablation ({MONTH}, rho=0.9)",
+        rows,
+        columns,
+        row_header="measure",
+    )
+    emit("ablation_pruning", text)
+    # Pruning explores at most as many nodes for the same budget ceiling.
+    assert (
+        pruned.policy_stats["total_nodes_visited"]
+        <= plain.policy_stats["total_nodes_visited"]
+    )

@@ -1,0 +1,55 @@
+"""Ablation: number of backfill reservations.
+
+The paper uses one reservation per backfill policy because "we do not find
+more reservations to improve the performance" (§4).  This bench sweeps
+1/2/4 reservations for FCFS-backfill and reports the three headline
+measures so the claim can be re-checked.
+"""
+
+from repro.backfill import BackfillPolicy
+from repro.backfill.priorities import FcfsPriority
+from repro.experiments.config import current_scale
+from repro.experiments.figures import HIGH_LOAD, _month_at_load
+from repro.experiments.runner import simulate
+from repro.metrics.report import format_series
+
+from conftest import emit, run_once
+
+MONTHS = ("2003-07", "2003-08", "2004-01")
+RESERVATIONS = (1, 2, 4)
+MEASURES = (
+    ("avg wait (h)", lambda r: r.metrics.avg_wait_hours),
+    ("max wait (h)", lambda r: r.metrics.max_wait_hours),
+    ("avg slowdown", lambda r: r.metrics.avg_bounded_slowdown),
+)
+
+
+def _sweep():
+    exp = current_scale()
+    runs = {}
+    for reservations in RESERVATIONS:
+        for month in MONTHS:
+            workload = _month_at_load(month, exp.seed, exp.job_scale, HIGH_LOAD)
+            policy = BackfillPolicy(FcfsPriority(), reservations=reservations)
+            runs[(reservations, month)] = simulate(workload, policy)
+    return runs
+
+
+def test_ablation_reservations(benchmark):
+    runs = run_once(benchmark, _sweep)
+    rows = [f"{name} {m}" for name, _ in MEASURES for m in MONTHS]
+    columns = {
+        f"res={r}": [fn(runs[(r, m)]) for _, fn in MEASURES for m in MONTHS]
+        for r in RESERVATIONS
+    }
+    text = format_series(
+        "FCFS-backfill: reservations ablation (rho=0.9)",
+        rows,
+        columns,
+        row_header="case",
+    )
+    emit("ablation_reservations", text)
+    # The paper's observation: more reservations do not help the averages.
+    avg_res1 = sum(runs[(1, m)].metrics.avg_wait_hours for m in MONTHS)
+    avg_res4 = sum(runs[(4, m)].metrics.avg_wait_hours for m in MONTHS)
+    assert avg_res1 <= avg_res4 * 1.25

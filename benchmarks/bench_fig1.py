@@ -1,0 +1,19 @@
+"""Figure 1: search-tree sizes and LDS/DDS visit orders.
+
+Pure combinatorics — the one benchmark that matches the paper exactly,
+digit for digit, at any scale.
+"""
+
+from repro.experiments.figures import fig1_tree
+
+from conftest import emit, run_once
+
+
+def test_fig1_tree(benchmark):
+    fig = run_once(benchmark, fig1_tree)
+    emit("fig1", fig.render())
+    text = fig.render()
+    # Figure 1(d) checks.
+    assert "64" in text and "9,864,100" in text
+    # The 4-job LDS/DDS orders open with the pure-heuristic path.
+    assert "0-1-2-3-4" in text

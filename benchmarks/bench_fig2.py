@@ -1,0 +1,20 @@
+"""Figure 2: sensitivity of DDS/lxf to the fixed target wait bound.
+
+Paper shape: the maximum wait grows with the bound (approaching it in many
+months) while the average bounded slowdown is comparatively insensitive.
+"""
+
+from repro.experiments.figures import fig2_fixed_bound_sensitivity
+
+from conftest import emit, run_once
+
+
+def test_fig2_fixed_bound(benchmark):
+    fig = run_once(benchmark, fig2_fixed_bound_sensitivity)
+    emit("fig2", fig.render())
+
+    max_wait = fig.panels["max wait (h)"]
+    # Aggregate shape: a larger bound admits (weakly) larger max waits.
+    total_small = sum(max_wait["w=50h"])
+    total_large = sum(max_wait["w=300h"])
+    assert total_small <= total_large * 1.05

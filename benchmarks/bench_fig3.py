@@ -1,0 +1,27 @@
+"""Figure 3: FCFS-BF vs LXF-BF vs DDS/lxf/dynB under original load.
+
+Paper shape: LXF-BF has the lower average wait/slowdown, FCFS-BF the lower
+maximum wait, and DDS/lxf/dynB approaches the best of both; differences are
+modest at original load (they widen at rho = 0.9, Figure 4).
+"""
+
+from repro.experiments.figures import fig3_original_load
+
+from conftest import emit, run_once
+
+
+def test_fig3_original_load(benchmark):
+    fig = run_once(benchmark, fig3_original_load)
+    emit("fig3", fig.render())
+
+    slowdown = fig.panels["avg bounded slowdown"]
+    max_wait = fig.panels["max wait (h)"]
+    months = len(fig.row_labels)
+    # LXF-BF beats FCFS-BF on avg slowdown in most months.
+    wins = sum(
+        1 for i in range(months) if slowdown["LXF-BF"][i] <= slowdown["FCFS-BF"][i]
+    )
+    assert wins >= months * 0.6
+    # Aggregate max wait: FCFS-BF <= LXF-BF; DDS tracks the lower envelope.
+    assert sum(max_wait["FCFS-BF"]) <= sum(max_wait["LXF-BF"]) * 1.1
+    assert sum(max_wait["DDS/lxf/dynB"]) <= sum(max_wait["LXF-BF"]) * 1.1

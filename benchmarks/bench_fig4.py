@@ -1,0 +1,32 @@
+"""Figure 4: the full eight-panel comparison under high load (rho = 0.9).
+
+Paper shape: the Figure-3 ordering with larger gaps; DDS/lxf/dynB has
+near-zero total excessive wait w.r.t. FCFS-BF's max wait in most months
+(1/04 excepted), and beats LXF-BF on every excessive-wait measure.
+"""
+
+from repro.experiments.figures import fig4_high_load
+
+from conftest import emit, run_once
+
+
+def test_fig4_high_load(benchmark):
+    fig = run_once(benchmark, fig4_high_load)
+    emit("fig4", fig.render())
+
+    e_max = fig.panels["total excessive wait vs FCFS-BF max (h)"]
+    # FCFS-BF: identically zero by construction.
+    assert all(abs(v) < 1e-9 for v in e_max["FCFS-BF"])
+    # DDS/lxf/dynB accumulates less excess than LXF-BF overall.
+    assert sum(e_max["DDS/lxf/dynB"]) <= sum(e_max["LXF-BF"]) + 1e-9
+
+    slowdown = fig.panels["avg bounded slowdown"]
+    months = len(fig.row_labels)
+    # DDS slowdown lands much closer to LXF-BF than to FCFS-BF on average.
+    closer = sum(
+        1
+        for i in range(months)
+        if abs(slowdown["DDS/lxf/dynB"][i] - slowdown["LXF-BF"][i])
+        <= abs(slowdown["DDS/lxf/dynB"][i] - slowdown["FCFS-BF"][i])
+    )
+    assert closer >= months * 0.6

@@ -1,0 +1,51 @@
+"""Figure 5: average wait per N x T job class, July 2003, rho = 0.9.
+
+Paper shape: FCFS-BF is poor for wide jobs even when they are short;
+LXF-BF fixes short-wide jobs at great cost to long-wide ones; DDS/lxf/dynB
+improves short-wide jobs without sacrificing long-wide jobs as much.
+"""
+
+import numpy as np
+
+from repro.backfill import fcfs_backfill, lxf_backfill
+from repro.core.scheduler import make_policy
+from repro.experiments.config import current_scale
+from repro.experiments.figures import HIGH_LOAD, fig5_job_classes
+from repro.experiments.runner import simulate
+from repro.metrics.classes import avg_wait_grid
+from repro.workloads.scaling import scale_to_load
+from repro.workloads.synthetic import generate_month
+
+from conftest import emit, run_once
+
+
+def test_fig5_job_classes(benchmark):
+    fig = run_once(benchmark, fig5_job_classes)
+    emit("fig5", fig.render())
+
+
+def test_fig5_shape_short_wide_jobs():
+    """LXF-BF and DDS improve FCFS-BF's short-wide classes (N>32, T<=1h)."""
+    exp = current_scale()
+    workload = scale_to_load(
+        generate_month("2003-07", seed=exp.seed, scale=exp.job_scale), HIGH_LOAD
+    )
+    grids = {}
+    for key, policy in (
+        ("fcfs", fcfs_backfill()),
+        ("lxf", lxf_backfill()),
+        ("dds", make_policy("dds", "lxf", node_limit=exp.L(1000))),
+    ):
+        grids[key] = avg_wait_grid(simulate(workload, policy).jobs)
+
+    def short_wide(grid):
+        # Runtime classes 0-1 (T <= 1h) x node classes 3-4 (N > 32).
+        cells = grid.values[0:2, 3:5]
+        return np.nanmean(cells) if not np.all(np.isnan(cells)) else np.nan
+
+    fcfs_sw = short_wide(grids["fcfs"])
+    lxf_sw = short_wide(grids["lxf"])
+    dds_sw = short_wide(grids["dds"])
+    if not (np.isnan(fcfs_sw) or np.isnan(lxf_sw) or np.isnan(dds_sw)):
+        assert lxf_sw <= fcfs_sw * 1.05
+        assert dds_sw <= fcfs_sw * 1.05

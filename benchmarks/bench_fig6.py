@@ -1,0 +1,24 @@
+"""Figure 6: impact of the search node limit L, January 2004, rho = 0.9.
+
+Paper shape: total excessive wait and maximum wait improve as L grows
+(DDS/lxf/dynB approaches FCFS-BF's max wait at L = 100K) at a slight cost
+in average wait and slowdown, which stay far below FCFS-BF's.
+"""
+
+from repro.experiments.figures import fig6_node_limit
+
+from conftest import emit, run_once
+
+
+def test_fig6_node_limit(benchmark):
+    fig = run_once(benchmark, fig6_node_limit)
+    emit("fig6", fig.render())
+
+    excess = fig.panels["total excessive wait vs FCFS-BF max (h)"]["DDS/lxf/dynB"]
+    # The largest budget never does worse than the smallest on excess.
+    assert excess[-1] <= excess[0] + 1e-9
+
+    avg_wait = fig.panels["avg wait (h)"]
+    # DDS average wait stays below FCFS-BF's at every budget.
+    fcfs = avg_wait["FCFS-BF"][0]
+    assert all(v <= fcfs * 1.2 for v in avg_wait["DDS/lxf/dynB"])

@@ -1,0 +1,27 @@
+"""Figure 7: search algorithms (DDS vs LDS) and branching heuristics
+(lxf vs fcfs) under rho = 0.9, L = 2K.
+
+Paper shape: DDS/fcfs behaves like FCFS-backfill (poor average slowdown in
+most months) — the branching heuristic dominates the choice of search
+algorithm; LDS/lxf follows the lxf heuristic more (slightly lower average
+slowdown) at the cost of more total excessive wait on the hard month.
+"""
+
+from repro.experiments.figures import fig7_algorithms
+
+from conftest import emit, run_once
+
+
+def test_fig7_algorithms(benchmark):
+    fig = run_once(benchmark, fig7_algorithms)
+    emit("fig7", fig.render())
+
+    slowdown = fig.panels["avg bounded slowdown"]
+    months = len(fig.row_labels)
+    # lxf branching beats fcfs branching on avg slowdown in most months.
+    wins = sum(
+        1
+        for i in range(months)
+        if slowdown["DDS/lxf/dynB"][i] <= slowdown["DDS/fcfs/dynB"][i]
+    )
+    assert wins >= months * 0.6

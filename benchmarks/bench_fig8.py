@@ -1,0 +1,27 @@
+"""Figure 8: planning with inaccurate requested runtimes (R* = R),
+rho = 0.9, L = 4K.
+
+Paper shape: qualitatively the same ordering as Figure 4 with somewhat
+smaller gaps between policies.
+"""
+
+from repro.experiments.figures import fig8_requested_runtimes
+
+from conftest import emit, run_once
+
+
+def test_fig8_requested_runtimes(benchmark):
+    fig = run_once(benchmark, fig8_requested_runtimes)
+    emit("fig8", fig.render())
+
+    e_max = fig.panels["total excessive wait vs FCFS-BF max (h)"]
+    assert all(abs(v) < 1e-9 for v in e_max["FCFS-BF"])
+
+    slowdown = fig.panels["avg bounded slowdown"]
+    months = len(fig.row_labels)
+    wins = sum(
+        1
+        for i in range(months)
+        if slowdown["LXF-BF"][i] <= slowdown["FCFS-BF"][i]
+    )
+    assert wins >= months * 0.6

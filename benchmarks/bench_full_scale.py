@@ -1,0 +1,60 @@
+"""Paper-scale spot check: one full-size month at the paper's exact L.
+
+The rest of the suite runs reduced months for speed; this bench runs
+June 2003 at scale 1.0 (all 2191 in-window jobs) with the paper's
+L = 1K, verifying the reproduction is not an artifact of downscaling.
+The full ten-month matrix at paper scale is REPRO_FULL_SCALE=1 away.
+"""
+
+from repro.backfill import fcfs_backfill, lxf_backfill
+from repro.core.scheduler import make_policy
+from repro.experiments.config import current_scale
+from repro.experiments.runner import simulate
+from repro.metrics.report import format_series
+from repro.workloads.synthetic import generate_month
+
+from conftest import emit, run_once
+
+MONTH = "2003-06"
+
+
+def _sweep():
+    exp = current_scale()
+    workload = generate_month(MONTH, seed=exp.seed, scale=1.0)
+    return {
+        "FCFS-BF": simulate(workload, fcfs_backfill()),
+        "LXF-BF": simulate(workload, lxf_backfill()),
+        "DDS/lxf/dynB": simulate(workload, make_policy("dds", "lxf", node_limit=1000)),
+    }
+
+
+def test_full_scale_month(benchmark):
+    runs = run_once(benchmark, _sweep)
+    rows = ["avg wait (h)", "max wait (h)", "avg bounded slowdown", "n jobs"]
+    columns = {
+        name: [
+            run.metrics.avg_wait_hours,
+            run.metrics.max_wait_hours,
+            run.metrics.avg_bounded_slowdown,
+            float(run.metrics.n_jobs),
+        ]
+        for name, run in runs.items()
+    }
+    text = format_series(
+        f"Paper-scale spot check ({MONTH}, scale 1.0, L=1K, original load)",
+        rows,
+        columns,
+        row_header="measure",
+    )
+    emit("full_scale", text)
+
+    # The paper-scale month reproduces the headline ordering too.
+    assert runs["FCFS-BF"].metrics.n_jobs == 2191  # Table 3's June count
+    assert (
+        runs["DDS/lxf/dynB"].metrics.avg_bounded_slowdown
+        <= runs["FCFS-BF"].metrics.avg_bounded_slowdown
+    )
+    assert (
+        runs["DDS/lxf/dynB"].metrics.max_wait_hours
+        <= runs["LXF-BF"].metrics.max_wait_hours * 1.1
+    )

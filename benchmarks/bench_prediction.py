@@ -1,0 +1,90 @@
+"""Extension bench: planning with predicted runtimes (paper future work).
+
+Compares the three runtime sources — R* = T (Figures 2-7), R* = R
+(Figure 8), and R* = avg-last-2 prediction with upward revision — on two
+high-load months with realistic menu-rounded user estimates.  The
+literature shape: prediction beats raw requests on the average measures
+and can lose on the tail.
+"""
+
+from repro.backfill import fcfs_backfill
+from repro.core.scheduler import make_policy
+from repro.experiments.config import current_scale
+from repro.experiments.figures import HIGH_LOAD, _month_at_load
+from repro.experiments.runner import simulate
+from repro.metrics.report import format_series
+from repro.predict import (
+    ClampedPredictor,
+    PredictedRuntimeSource,
+    RecentAveragePredictor,
+)
+from repro.workloads.estimates import MenuEstimates, apply_estimates
+
+from conftest import emit, run_once
+
+MONTHS = ("2003-09", "2004-01")
+
+
+def _source_cases():
+    def predicted():
+        return PredictedRuntimeSource(ClampedPredictor(RecentAveragePredictor(k=2)))
+
+    return (("R*=T", lambda: True), ("R*=R", lambda: False), ("R*=pred", predicted))
+
+
+def _sweep():
+    exp = current_scale()
+    L = exp.L(1000)
+    runs = {}
+    for month in MONTHS:
+        base = _month_at_load(month, exp.seed, exp.job_scale, HIGH_LOAD)
+        workload = apply_estimates(base, MenuEstimates(exact_prob=0.1), seed=exp.seed)
+        for label, make_source in _source_cases():
+            runs[("FCFS-BF", label, month)] = simulate(
+                workload, fcfs_backfill(make_source())
+            )
+            runs[("DDS/lxf/dynB", label, month)] = simulate(
+                workload,
+                make_policy("dds", "lxf", node_limit=L, runtime_source=make_source()),
+            )
+    return runs
+
+
+def test_prediction_sources(benchmark):
+    runs = run_once(benchmark, _sweep)
+    rows = [
+        f"{policy} {measure} {month}"
+        for policy in ("FCFS-BF", "DDS/lxf/dynB")
+        for measure in ("avg wait", "slowdown")
+        for month in MONTHS
+    ]
+    columns = {}
+    for label, _ in _source_cases():
+        values = []
+        for policy in ("FCFS-BF", "DDS/lxf/dynB"):
+            for measure in ("avg wait", "slowdown"):
+                for month in MONTHS:
+                    run = runs[(policy, label, month)]
+                    values.append(
+                        run.metrics.avg_wait_hours
+                        if measure == "avg wait"
+                        else run.metrics.avg_bounded_slowdown
+                    )
+        columns[label] = values
+    text = format_series(
+        "Runtime sources under rho=0.9 (menu user estimates)",
+        rows,
+        columns,
+        row_header="case",
+    )
+    emit("prediction", text)
+
+    # Shape check: prediction's average slowdown beats raw requests for
+    # the FCFS baseline summed over months.
+    req = sum(
+        runs[("FCFS-BF", "R*=R", m)].metrics.avg_bounded_slowdown for m in MONTHS
+    )
+    pred = sum(
+        runs[("FCFS-BF", "R*=pred", m)].metrics.avg_bounded_slowdown for m in MONTHS
+    )
+    assert pred <= req * 1.1

@@ -1,0 +1,30 @@
+"""Table 3: monthly job mix, recomputed from the synthetic traces.
+
+The generated months must reproduce the published job-count and
+processor-demand mix per requested-node range (within sampling noise at
+the bench scale).
+"""
+
+from repro.experiments.config import current_scale
+from repro.experiments.figures import table3_job_mix
+from repro.workloads.calibration import MONTHS
+from repro.workloads.stats import job_mix_table
+from repro.workloads.synthetic import generate_month
+
+from conftest import emit, run_once
+
+
+def test_table3_job_mix(benchmark):
+    fig = run_once(benchmark, table3_job_mix)
+    emit("table3", fig.render())
+
+
+def test_table3_calibration_quality():
+    """Realized vs published mix for the two months the paper highlights."""
+    exp = current_scale()
+    for name in ("2003-07", "2004-01"):
+        cal = MONTHS[name]
+        table = job_mix_table(generate_month(name, seed=exp.seed, scale=exp.job_scale))
+        assert abs(table.load - cal.load) < 0.03
+        for realized, target in zip(table.jobs_frac, cal.jobs_frac):
+            assert abs(realized - target) < 0.07, (name, realized, target)

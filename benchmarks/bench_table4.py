@@ -1,0 +1,25 @@
+"""Table 4: distribution of actual job runtime, recomputed from traces."""
+
+from repro.experiments.config import current_scale
+from repro.experiments.figures import table4_runtimes
+from repro.workloads.calibration import MONTHS
+from repro.workloads.stats import runtime_table
+from repro.workloads.synthetic import generate_month
+
+from conftest import emit, run_once
+
+
+def test_table4_runtimes(benchmark):
+    fig = run_once(benchmark, table4_runtimes)
+    emit("table4", fig.render())
+
+
+def test_table4_anomalies_reproduced():
+    """January 2004's signature: many long one-node jobs, many wide-short
+    jobs — the paper's hardest month must look hard in our traces too."""
+    exp = current_scale()
+    jan = runtime_table(generate_month("2004-01", seed=exp.seed, scale=exp.job_scale))
+    cal = MONTHS["2004-01"]
+    assert abs(jan.long_all - sum(cal.long_frac)) < 0.06
+    assert abs(jan.long_frac[0] - cal.long_frac[0]) < 0.06
+    assert abs(jan.short_frac[3] - cal.short_frac[3]) < 0.06

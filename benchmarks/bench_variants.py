@@ -1,0 +1,67 @@
+"""Backfill variants vs the two baselines (paper §3.2).
+
+The paper reports that Selective-backfill performs very similarly to
+LXF-backfill while Lookahead is very similar to FCFS-backfill on the NCSA
+workloads.  This bench reruns that comparison on the synthetic months.
+"""
+
+from repro.backfill import conservative_backfill, fcfs_backfill, lxf_backfill
+from repro.backfill.variants import (
+    LookaheadPolicy,
+    SelectiveBackfillPolicy,
+    SlackBackfillPolicy,
+)
+from repro.experiments.config import current_scale
+from repro.experiments.figures import HIGH_LOAD, _month_at_load
+from repro.experiments.runner import simulate
+from repro.metrics.report import format_series
+
+from conftest import emit, run_once
+
+MONTHS = ("2003-07", "2003-08", "2004-01")
+
+
+def _sweep():
+    exp = current_scale()
+    policies = {
+        "FCFS-BF": fcfs_backfill,
+        "LXF-BF": lxf_backfill,
+        "Selective": SelectiveBackfillPolicy,
+        "Lookahead": LookaheadPolicy,
+        "Slack": lambda: SlackBackfillPolicy(slack_factor=2.0),
+        "Conservative": conservative_backfill,
+    }
+    runs = {}
+    for month in MONTHS:
+        workload = _month_at_load(month, exp.seed, exp.job_scale, HIGH_LOAD)
+        for key, factory in policies.items():
+            runs[(key, month)] = simulate(workload, factory())
+    return runs
+
+
+def test_variants_comparison(benchmark):
+    runs = run_once(benchmark, _sweep)
+    names = ["FCFS-BF", "LXF-BF", "Selective", "Lookahead", "Slack", "Conservative"]
+    rows = [
+        f"{measure} {m}"
+        for measure in ("avg slowdown", "max wait (h)")
+        for m in MONTHS
+    ]
+    columns = {
+        name: [runs[(name, m)].metrics.avg_bounded_slowdown for m in MONTHS]
+        + [runs[(name, m)].metrics.max_wait_hours for m in MONTHS]
+        for name in names
+    }
+    text = format_series(
+        "Backfill variants (rho=0.9)", rows, columns, row_header="case"
+    )
+    emit("variants", text)
+
+    # Paper §3.2 shapes: Selective tracks LXF-BF's slowdown improvements
+    # over FCFS-BF; Lookahead stays in FCFS-BF's neighbourhood.
+    fcfs = sum(runs[("FCFS-BF", m)].metrics.avg_bounded_slowdown for m in MONTHS)
+    lxf = sum(runs[("LXF-BF", m)].metrics.avg_bounded_slowdown for m in MONTHS)
+    selective = sum(
+        runs[("Selective", m)].metrics.avg_bounded_slowdown for m in MONTHS
+    )
+    assert selective <= fcfs  # improves on FCFS like LXF does

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at the active
+:class:`~repro.experiments.config.ExperimentScale` (reduced by default;
+``REPRO_FULL_SCALE=1`` for paper-scale), times it with pytest-benchmark,
+prints the series the paper plots, and archives the text under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure's rendered text and archive it for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` with a single round (these are minutes-long workloads,
+    not microbenchmarks)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

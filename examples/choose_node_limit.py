@@ -1,0 +1,44 @@
+"""Choosing the search budget L empirically.
+
+The paper fixes L per experiment (1K-100K) and shows January 2004 needs
+more than the other months (Figure 6).  On your own workload you can
+measure instead of guessing: run with ``record_anytime=True`` and look at
+how many node visits each decision needed before finding the schedule it
+ended up using.  If the 90th percentile hugs the budget, raise L; if it
+sits far below, you are over-paying scheduling latency.
+
+Run:  python examples/choose_node_limit.py
+"""
+
+import numpy as np
+
+from repro import SearchSchedulingPolicy, generate_month, scale_to_load, simulate
+
+
+def main() -> None:
+    for month in ("2003-09", "2004-01"):
+        workload = scale_to_load(generate_month(month, seed=2, scale=0.1), 0.9)
+        budget = 200
+        policy = SearchSchedulingPolicy(
+            algorithm="dds",
+            heuristic="lxf",
+            node_limit=budget,
+            record_anytime=True,
+        )
+        simulate(workload, policy)
+        contended = [n for queue, n in policy.anytime_nodes if queue > 1]
+        nodes = np.array(contended, dtype=float)
+        print(
+            f"{month}: budget L={budget}, {len(nodes)} contended decisions | "
+            f"nodes-to-best median {np.median(nodes):.0f}, "
+            f"p90 {np.percentile(nodes, 90):.0f}, "
+            f"at-budget {np.mean(nodes >= budget * 0.95) * 100:.1f}%"
+        )
+    print(
+        "\nReading: the hard month (1/04) pushes decisions much closer to\n"
+        "the budget — the Figure-6 situation, where raising L keeps paying."
+    )
+
+
+if __name__ == "__main__":
+    main()

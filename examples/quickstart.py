@@ -1,0 +1,36 @@
+"""Quickstart: schedule one synthetic NCSA month with two policies.
+
+Generates a reduced-scale July 2003 (the paper's high-load month), runs
+FCFS-backfill and the paper's best policy DDS/lxf/dynB, and prints the
+headline measures.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import fcfs_backfill, generate_month, make_policy, simulate
+
+
+def main() -> None:
+    # A 10%-scale July 2003: same job mix and load, ~140 jobs.
+    workload = generate_month("2003-07", seed=1, scale=0.1)
+    print(f"workload: {workload}")
+    print(f"offered load: {workload.offered_load():.2f}")
+    print()
+
+    policies = [
+        fcfs_backfill(),
+        make_policy("dds", "lxf", node_limit=500),  # DDS/lxf/dynB
+    ]
+    print(f"{'policy':>16} {'avg wait (h)':>14} {'max wait (h)':>14} {'avg slowdown':>14}")
+    for policy in policies:
+        run = simulate(workload, policy)
+        print(
+            f"{run.policy_name:>16} "
+            f"{run.metrics.avg_wait_hours:>14.2f} "
+            f"{run.metrics.max_wait_hours:>14.2f} "
+            f"{run.metrics.avg_bounded_slowdown:>14.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Working with Standard Workload Format traces.
+
+Shows the full loop a user with *real* traces would follow: export a
+synthetic month to SWF, read it back (any Parallel Workloads Archive
+trace reads the same way), characterize it with the paper's Table-3/4
+statistics, and simulate policies on it.
+
+Run:  python examples/swf_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import fcfs_backfill, generate_month, make_policy, read_swf, simulate, write_swf
+from repro.workloads.stats import (
+    format_job_mix,
+    format_runtime_table,
+    job_mix_table,
+    runtime_table,
+)
+
+
+def main() -> None:
+    # 1. Get a trace on disk.  (With real data, skip this step and point
+    #    read_swf at e.g. an LANL-CM5 or SDSC-SP2 log from the archive.)
+    month = generate_month("2003-10", seed=5, scale=0.08)
+    swf_path = Path(tempfile.mkdtemp()) / "ncsa-ia64-2003-10.swf"
+    write_swf(month, swf_path, comments=["synthetic, calibrated to Table 3/4"])
+    print(f"wrote {swf_path} ({len(month.jobs)} jobs)")
+
+    # 2. Read it back.  The paper's cluster config (128 nodes, runtime
+    #    limits) travels with the workload; pass your machine's config for
+    #    foreign traces.
+    trace = read_swf(swf_path, cluster=month.cluster, name="2003-10")
+    print(f"parsed: {trace}\n")
+
+    # 3. Characterize it the way the paper characterizes its months.
+    print(format_job_mix([job_mix_table(trace)]))
+    print()
+    print(format_runtime_table([runtime_table(trace)]))
+
+    # 4. Simulate.
+    for policy in (fcfs_backfill(), make_policy("dds", "lxf", node_limit=200)):
+        run = simulate(trace, policy)
+        print(
+            f"{run.policy_name:>16}: avg wait {run.metrics.avg_wait_hours:.2f} h, "
+            f"max wait {run.metrics.max_wait_hours:.2f} h, "
+            f"avg slowdown {run.metrics.avg_bounded_slowdown:.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Declarative goal tuning: the target wait bound in action (paper §5).
+
+The whole point of goal-oriented scheduling is that an administrator
+states the goal ("no job should wait more than omega; beyond that,
+minimize slowdown") instead of tuning priority weights.  This example
+sweeps fixed bounds and compares them to the self-adjusting dynamic bound
+(dynB) on a high-load month — reproducing the paper's finding that too
+small or too large a fixed bound is detrimental, and dynB tracks the
+workload automatically.
+
+Run:  python examples/tune_target_bound.py
+"""
+
+from repro import generate_month, make_policy, scale_to_load, simulate
+from repro.util.timeunits import HOUR
+
+
+def main() -> None:
+    workload = scale_to_load(generate_month("2003-07", seed=1, scale=0.1), 0.9)
+    print(f"workload: {workload}\n")
+
+    cases: list[tuple[str, object]] = [
+        ("omega=0h (pure avg-wait)", 0.0),
+        ("omega=10h", 10 * HOUR),
+        ("omega=50h", 50 * HOUR),
+        ("omega=300h", 300 * HOUR),
+        ("dynB (adaptive)", None),
+    ]
+    print(f"{'bound':>28} {'avg wait (h)':>13} {'max wait (h)':>13} {'avg slowdown':>13}")
+    for label, bound in cases:
+        policy = make_policy("dds", "lxf", bound=bound, node_limit=300)
+        run = simulate(workload, policy)
+        print(
+            f"{label:>28} "
+            f"{run.metrics.avg_wait_hours:>13.2f} "
+            f"{run.metrics.max_wait_hours:>13.2f} "
+            f"{run.metrics.avg_bounded_slowdown:>13.2f}"
+        )
+    print(
+        "\nReading: a tiny bound collapses the first objective level into\n"
+        "average-wait minimization (max wait blows up); a huge bound never\n"
+        "binds (ditto); dynB tracks the longest waiter and needs no tuning."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""What-if workload studies with custom calibrations.
+
+The synthetic generator is parameterized by the same statistics the
+paper publishes, which makes capacity-planning questions one function
+call away: *what happens to my scheduler if the largest jobs' share of
+demand doubles?*  This example derives that variant of July 2003 and
+compares FCFS-backfill with DDS/lxf/dynB on both.
+
+Run:  python examples/what_if_mix.py
+"""
+
+from repro import fcfs_backfill, generate_month, make_policy, simulate
+from repro.workloads.mixes import scaled_mix
+
+
+def main() -> None:
+    baseline_cal = "2003-07"
+    heavier = scaled_mix(baseline_cal, "jul-2x-wide", demand_shift={7: 2.0})
+
+    print(
+        f"{'workload':>14} {'policy':>14} {'avg wait':>9} "
+        f"{'max wait':>9} {'slowdown':>9}"
+    )
+    for cal in (baseline_cal, heavier):
+        workload = generate_month(cal, seed=4, scale=0.1)
+        for policy in (
+            fcfs_backfill(),
+            make_policy("dds", "lxf", node_limit=300),
+        ):
+            run = simulate(workload, policy)
+            name = cal if isinstance(cal, str) else cal.name
+            print(
+                f"{name:>14} {run.policy_name[:14]:>14} "
+                f"{run.metrics.avg_wait_hours:>9.2f} "
+                f"{run.metrics.max_wait_hours:>9.2f} "
+                f"{run.metrics.avg_bounded_slowdown:>9.2f}"
+            )
+    print(
+        "\nReading: doubling the widest jobs' demand share deepens queues\n"
+        "for everyone; the search-based policy degrades more gracefully on\n"
+        "the maximum wait because the objective explicitly bounds it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,183 @@
+"""repro — Search-based Job Scheduling for Parallel Computer Workloads.
+
+A from-scratch reproduction of Vasupongayya, Chiang & Massey (IEEE Cluster
+2005): goal-oriented on-line job scheduling via complete discrepancy-based
+search (LDS/DDS) with a hierarchical two-level objective, evaluated by
+event-driven simulation against FCFS- and LXF-backfill on workloads
+calibrated to the paper's NCSA IA-64 traces.
+
+Quickstart::
+
+    from repro import generate_month, make_policy, fcfs_backfill, simulate
+
+    workload = generate_month("2003-07", seed=1, scale=0.1)
+    dds = make_policy("dds", "lxf", node_limit=1000)   # DDS/lxf/dynB
+    result = simulate(workload, dds)
+    print(result.metrics.avg_wait_hours, result.metrics.max_wait_hours)
+"""
+
+from repro.core import (
+    AvailabilityProfile,
+    CriteriaEvaluator,
+    Criterion,
+    DiscrepancySearch,
+    DynamicBound,
+    FairshareDelay,
+    FixedBound,
+    MaxWait,
+    MultiScore,
+    ObjectiveConfig,
+    ScheduleScore,
+    SearchProblem,
+    SearchResult,
+    SearchSchedulingPolicy,
+    TotalBoundedSlowdown,
+    TotalExcessiveWait,
+    TotalWait,
+    UsageTracker,
+    WeightedWait,
+    build_schedule,
+    dds_order,
+    lds_order,
+    make_policy,
+    num_nodes,
+    num_paths,
+    order_jobs,
+    paper_objective,
+)
+from repro.predict import (
+    ActualRuntimeSource,
+    ClampedPredictor,
+    EwmaPredictor,
+    PredictedRuntimeSource,
+    RecentAveragePredictor,
+    RequestedRuntimeSource,
+    RuntimeSource,
+)
+from repro.analysis import (
+    BootstrapCI,
+    SeedStudy,
+    paired_bootstrap_diff,
+    run_seed_study,
+)
+from repro.backfill import (
+    BackfillPolicy,
+    LookaheadPolicy,
+    SelectiveBackfillPolicy,
+    SlackBackfillPolicy,
+    conservative_backfill,
+    fcfs_backfill,
+    lxf_backfill,
+)
+from repro.simulator import (
+    Cluster,
+    ClusterConfig,
+    Job,
+    JobLimits,
+    SchedulingPolicy,
+    Simulation,
+    SimulationResult,
+)
+from repro.workloads import (
+    MONTH_ORDER,
+    MONTHS,
+    Workload,
+    apply_estimates,
+    generate_month,
+    read_swf,
+    scale_to_load,
+    write_swf,
+)
+from repro.metrics import (
+    StateTimeSeries,
+    compute_metrics,
+    describe_schedule,
+    excessive_wait_stats,
+    reference_thresholds,
+    render_gantt,
+)
+from repro.experiments import PolicyRun, simulate, run_matrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "AvailabilityProfile",
+    "DiscrepancySearch",
+    "SearchProblem",
+    "SearchResult",
+    "SearchSchedulingPolicy",
+    "ObjectiveConfig",
+    "ScheduleScore",
+    "FixedBound",
+    "DynamicBound",
+    "make_policy",
+    "build_schedule",
+    "order_jobs",
+    "num_paths",
+    "num_nodes",
+    "lds_order",
+    "dds_order",
+    # backfill
+    "BackfillPolicy",
+    "fcfs_backfill",
+    "lxf_backfill",
+    "conservative_backfill",
+    "SelectiveBackfillPolicy",
+    "SlackBackfillPolicy",
+    "LookaheadPolicy",
+    # simulator
+    "Job",
+    "Cluster",
+    "ClusterConfig",
+    "JobLimits",
+    "Simulation",
+    "SimulationResult",
+    "SchedulingPolicy",
+    # workloads
+    "Workload",
+    "MONTHS",
+    "MONTH_ORDER",
+    "generate_month",
+    "scale_to_load",
+    "apply_estimates",
+    "read_swf",
+    "write_swf",
+    # metrics
+    "compute_metrics",
+    "excessive_wait_stats",
+    "reference_thresholds",
+    "StateTimeSeries",
+    "describe_schedule",
+    "render_gantt",
+    # experiments
+    "simulate",
+    "run_matrix",
+    "PolicyRun",
+    # criteria / custom objectives
+    "Criterion",
+    "CriteriaEvaluator",
+    "MultiScore",
+    "TotalExcessiveWait",
+    "TotalBoundedSlowdown",
+    "TotalWait",
+    "MaxWait",
+    "WeightedWait",
+    "FairshareDelay",
+    "UsageTracker",
+    "paper_objective",
+    # prediction
+    "RuntimeSource",
+    "ActualRuntimeSource",
+    "RequestedRuntimeSource",
+    "PredictedRuntimeSource",
+    "RecentAveragePredictor",
+    "EwmaPredictor",
+    "ClampedPredictor",
+    # analysis
+    "BootstrapCI",
+    "SeedStudy",
+    "paired_bootstrap_diff",
+    "run_seed_study",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Statistical analysis of policy comparisons across workload seeds.
+
+The paper draws conclusions from ten real months; with synthetic months a
+reproduction can do one better and quantify sampling variability: rerun
+the same month at many seeds and bootstrap confidence intervals on the
+paired metric differences between policies.
+"""
+
+from repro.analysis.compare import (
+    BootstrapCI,
+    SeedStudy,
+    paired_bootstrap_diff,
+    run_seed_study,
+)
+
+__all__ = [
+    "BootstrapCI",
+    "SeedStudy",
+    "paired_bootstrap_diff",
+    "run_seed_study",
+]

@@ -1,0 +1,148 @@
+"""Paired bootstrap comparison of scheduling policies across seeds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import PolicyFactory, simulate
+from repro.util.rng import RngStream
+from repro.workloads.scaling import scale_to_load
+from repro.workloads.synthetic import generate_month
+
+#: Metric extractors available to seed studies.
+METRICS: dict[str, Callable] = {
+    "avg_wait_hours": lambda run: run.metrics.avg_wait_hours,
+    "max_wait_hours": lambda run: run.metrics.max_wait_hours,
+    "p98_wait_hours": lambda run: run.metrics.p98_wait_hours,
+    "avg_bounded_slowdown": lambda run: run.metrics.avg_bounded_slowdown,
+    "avg_queue_length": lambda run: run.avg_queue_length,
+    "utilization": lambda run: run.utilization,
+}
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A bootstrap confidence interval on a paired mean difference.
+
+    ``mean_diff`` is mean(a - b): negative means policy ``a`` scores lower
+    (better, for the wait/slowdown metrics).  ``prob_a_lower`` is the
+    fraction of seeds where ``a`` beat ``b`` outright.
+    """
+
+    mean_diff: float
+    lo: float
+    hi: float
+    confidence: float
+    prob_a_lower: float
+    n_seeds: int
+
+    @property
+    def significant(self) -> bool:
+        """Whether the interval excludes zero."""
+        return self.lo > 0 or self.hi < 0
+
+
+def paired_bootstrap_diff(
+    a: Sequence[float],
+    b: Sequence[float],
+    n_boot: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Bootstrap CI of ``mean(a - b)`` over paired observations."""
+    a_arr = np.asarray(a, dtype=float)
+    b_arr = np.asarray(b, dtype=float)
+    if a_arr.shape != b_arr.shape or a_arr.ndim != 1:
+        raise ValueError("a and b must be 1-D sequences of equal length")
+    if len(a_arr) < 2:
+        raise ValueError("need at least two paired observations")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    diffs = a_arr - b_arr
+    rng = RngStream(seed, "bootstrap").generator
+    samples = rng.choice(diffs, size=(n_boot, len(diffs)), replace=True)
+    means = samples.mean(axis=1)
+    alpha = (1 - confidence) / 2
+    return BootstrapCI(
+        mean_diff=float(diffs.mean()),
+        lo=float(np.quantile(means, alpha)),
+        hi=float(np.quantile(means, 1 - alpha)),
+        confidence=confidence,
+        prob_a_lower=float(np.mean(diffs < 0)),
+        n_seeds=len(diffs),
+    )
+
+
+@dataclass
+class SeedStudy:
+    """Metric values per (policy, metric) across workload seeds."""
+
+    month: str
+    seeds: tuple[int, ...]
+    values: dict[str, dict[str, np.ndarray]]  # policy -> metric -> per-seed
+    meta: dict = field(default_factory=dict)
+
+    def metric(self, policy: str, metric: str) -> np.ndarray:
+        return self.values[policy][metric]
+
+    def compare(
+        self,
+        policy_a: str,
+        policy_b: str,
+        metric: str,
+        confidence: float = 0.95,
+        n_boot: int = 2000,
+    ) -> BootstrapCI:
+        """Paired bootstrap CI of ``metric(a) - metric(b)`` across seeds."""
+        return paired_bootstrap_diff(
+            self.metric(policy_a, metric),
+            self.metric(policy_b, metric),
+            confidence=confidence,
+            n_boot=n_boot,
+        )
+
+    def summary(self, metric: str) -> dict[str, tuple[float, float]]:
+        """Per-policy ``(mean, std)`` of a metric across seeds."""
+        return {
+            policy: (float(vals[metric].mean()), float(vals[metric].std()))
+            for policy, vals in self.values.items()
+        }
+
+
+def run_seed_study(
+    month: str,
+    policies: Mapping[str, PolicyFactory],
+    seeds: Sequence[int],
+    scale: float = 0.1,
+    load: float | None = None,
+    metrics: Sequence[str] = ("avg_wait_hours", "max_wait_hours", "avg_bounded_slowdown"),
+) -> SeedStudy:
+    """Simulate every policy on the same month regenerated per seed."""
+    unknown = set(metrics) - set(METRICS)
+    if unknown:
+        raise ValueError(f"unknown metrics {sorted(unknown)}; choose from {sorted(METRICS)}")
+    if len(seeds) < 2:
+        raise ValueError("need at least two seeds for a study")
+    values: dict[str, dict[str, list[float]]] = {
+        name: {m: [] for m in metrics} for name in policies
+    }
+    for seed in seeds:
+        workload = generate_month(month, seed=seed, scale=scale)
+        if load is not None:
+            workload = scale_to_load(workload, load)
+        for name, factory in policies.items():
+            run = simulate(workload, factory())
+            for metric in metrics:
+                values[name][metric].append(METRICS[metric](run))
+    return SeedStudy(
+        month=month,
+        seeds=tuple(seeds),
+        values={
+            name: {m: np.asarray(vals) for m, vals in by_metric.items()}
+            for name, by_metric in values.items()
+        },
+        meta={"scale": scale, "load": load},
+    )

@@ -1,0 +1,76 @@
+"""Priority-backfill baselines (paper §3.2).
+
+:class:`~repro.backfill.engine.BackfillPolicy` is EASY-style priority
+backfill with a configurable number of reservations (the paper uses one) and
+a pluggable priority function — FCFS-backfill and LXF-backfill are the two
+baselines every figure compares against.  :mod:`repro.backfill.variants`
+adds the related policies the paper discusses: Selective-backfill,
+Slack-based backfill and the utilization-packing Lookahead scheduler.
+"""
+
+from repro.backfill.engine import BackfillPolicy
+from repro.backfill.priorities import (
+    PRIORITIES,
+    FcfsPriority,
+    LxfPriority,
+    LxfWPriority,
+    PriorityFunction,
+    SjfPriority,
+)
+from repro.backfill.variants import (
+    LookaheadPolicy,
+    SelectiveBackfillPolicy,
+    SlackBackfillPolicy,
+)
+
+__all__ = [
+    "BackfillPolicy",
+    "conservative_backfill",
+    "PriorityFunction",
+    "FcfsPriority",
+    "LxfPriority",
+    "SjfPriority",
+    "LxfWPriority",
+    "PRIORITIES",
+    "SelectiveBackfillPolicy",
+    "SlackBackfillPolicy",
+    "LookaheadPolicy",
+]
+
+
+def fcfs_backfill(runtime_source=None, reservations: int = 1) -> BackfillPolicy:
+    """The paper's FCFS-backfill baseline.
+
+    ``runtime_source``: ``True``/``None`` for R* = T, ``False`` for
+    R* = R, or any :class:`~repro.predict.source.RuntimeSource`.
+    """
+    return BackfillPolicy(
+        priority=FcfsPriority(),
+        reservations=reservations,
+        runtime_source=runtime_source,
+    )
+
+
+def lxf_backfill(runtime_source=None, reservations: int = 1) -> BackfillPolicy:
+    """The paper's LXF-backfill baseline (largest slowdown first)."""
+    return BackfillPolicy(
+        priority=LxfPriority(),
+        reservations=reservations,
+        runtime_source=runtime_source,
+    )
+
+
+def conservative_backfill(runtime_source=None) -> BackfillPolicy:
+    """Conservative backfill: *every* blocked job gets a reservation.
+
+    The classic counterpart of EASY (one reservation): no backfill may
+    delay any queued job, at the cost of backfill opportunities.  Realized
+    here as a reservation count no queue will ever reach.
+    """
+    policy = BackfillPolicy(
+        priority=FcfsPriority(),
+        reservations=1_000_000_000,
+        runtime_source=runtime_source,
+    )
+    policy.name = "Conservative-backfill"
+    return policy

@@ -1,0 +1,107 @@
+"""EASY-style priority backfill with a configurable number of reservations.
+
+Jobs are considered in priority order.  The first ``reservations`` jobs that
+cannot start now are each given a *scheduled start time* — the earliest time
+enough nodes are free — committed onto the availability profile.  Any other
+job is started immediately iff it fits on the profile *with the reservations
+committed*, which is exactly the guarantee that backfilled jobs never delay
+a reserved job.  The paper's simulations use a single reservation ("we do
+not find more reservations to improve the performance", §4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.backfill.priorities import PriorityFunction
+from repro.core.profile import AvailabilityProfile
+from repro.predict.source import RuntimeSource, resolve_runtime_source
+from repro.simulator.cluster import Cluster
+from repro.simulator.job import Job
+from repro.simulator.policy import RunningJob, SchedulingPolicy
+
+
+class BackfillPolicy(SchedulingPolicy):
+    """Priority backfill.
+
+    Parameters
+    ----------
+    priority:
+        Priority function; determines the policy's name (e.g.
+        ``FCFS-backfill``).
+    reservations:
+        How many top-priority blocked jobs receive scheduled start times.
+    runtime_source:
+        How planning runtimes resolve: ``True``/``"actual"`` for R* = T
+        (default), ``False``/``"requested"`` for R* = R, or any
+        :class:`~repro.predict.source.RuntimeSource` (e.g. a predictor).
+    """
+
+    def __init__(
+        self,
+        priority: PriorityFunction,
+        reservations: int = 1,
+        runtime_source: RuntimeSource | bool | str | None = None,
+    ) -> None:
+        if reservations < 0:
+            raise ValueError("reservations must be >= 0")
+        self.priority = priority
+        self.reservations = reservations
+        self.runtime_source = resolve_runtime_source(runtime_source)
+        suffix = "" if reservations == 1 else f"(res={reservations})"
+        self.name = f"{priority.name}-backfill{suffix}"
+        self.stats: dict[str, float] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        self.stats = {
+            "decisions": 0,
+            "backfilled_starts": 0,
+            "priority_starts": 0,
+            "max_queue_length": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        now: float,
+        waiting: Sequence[Job],
+        running: Sequence[RunningJob],
+        cluster: Cluster,
+    ) -> list[Job]:
+        self.stats["decisions"] += 1
+        if not waiting:
+            return []
+        self.stats["max_queue_length"] = max(
+            self.stats["max_queue_length"], len(waiting)
+        )
+
+        ordered = sorted(
+            waiting, key=lambda j: self.priority(j, now, self.runtime_of(j))
+        )
+        profile = AvailabilityProfile.from_running(cluster.capacity, now, running)
+
+        started: list[Job] = []
+        reservations_made = 0
+        blocked_seen = False
+        for job in ordered:
+            runtime = self.runtime_of(job)
+            start = profile.earliest_start(job.nodes, runtime, now)
+            if start <= now:
+                profile.reserve(start, runtime, job.nodes)
+                started.append(job)
+                if blocked_seen:
+                    self.stats["backfilled_starts"] += 1
+                else:
+                    self.stats["priority_starts"] += 1
+            elif reservations_made < self.reservations:
+                # Give this blocked job a scheduled start; committing it to
+                # the profile is what protects it from later backfills.
+                profile.reserve(start, runtime, job.nodes)
+                reservations_made += 1
+                blocked_seen = True
+            else:
+                blocked_seen = True
+                # No reservation left: the job simply waits for a later
+                # decision point.
+        return started

@@ -1,0 +1,92 @@
+"""Priority functions for backfill scheduling.
+
+Each priority is a callable object mapping ``(job, now, planning_runtime)``
+to a sortable key — smaller keys mean higher priority.  The planning
+runtime is the policy's resolved R* (actual, requested, or predicted), so
+priorities stay agnostic of where estimates come from.  The keys always
+end with ``(submit_time, job_id)`` so ordering is total and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.job import Job
+from repro.util.timeunits import HOUR, MINUTE
+
+
+class PriorityFunction:
+    """Base class; subclasses implement :meth:`key`."""
+
+    name: str = "priority"
+
+    def key(self, job: Job, now: float, runtime: float) -> tuple:
+        raise NotImplementedError
+
+    def __call__(self, job: Job, now: float, runtime: float) -> tuple:
+        return self.key(job, now, runtime)
+
+
+@dataclass(frozen=True)
+class FcfsPriority(PriorityFunction):
+    """First come, first served."""
+
+    name: str = "FCFS"
+
+    def key(self, job: Job, now: float, runtime: float) -> tuple:
+        return (job.submit_time, job.job_id)
+
+
+@dataclass(frozen=True)
+class LxfPriority(PriorityFunction):
+    """Largest (bounded) slowdown first.
+
+    Slowdown is evaluated at ``now`` with the scheduler-visible runtime and
+    the 1-minute floor, the same formula the lxf branching heuristic uses.
+    """
+
+    name: str = "LXF"
+    floor: float = MINUTE
+
+    def key(self, job: Job, now: float, runtime: float) -> tuple:
+        denom = max(runtime, self.floor)
+        slowdown = (now - job.submit_time + denom) / denom
+        return (-slowdown, job.submit_time, job.job_id)
+
+
+@dataclass(frozen=True)
+class SjfPriority(PriorityFunction):
+    """Shortest job first — known to starve long jobs (paper §3.2)."""
+
+    name: str = "SJF"
+
+    def key(self, job: Job, now: float, runtime: float) -> tuple:
+        return (runtime, job.submit_time, job.job_id)
+
+
+@dataclass(frozen=True)
+class LxfWPriority(PriorityFunction):
+    """LXF plus a small weight on the waiting time (paper's LXF&W).
+
+    The wait term breaks extreme-slowdown dominance by short jobs, pulling
+    long-waiting large jobs forward.  ``wait_weight`` is the priority added
+    per hour of waiting.
+    """
+
+    name: str = "LXF&W"
+    floor: float = MINUTE
+    wait_weight: float = 0.02  # priority units per hour waited
+
+    def key(self, job: Job, now: float, runtime: float) -> tuple:
+        wait = now - job.submit_time
+        denom = max(runtime, self.floor)
+        slowdown = (wait + denom) / denom
+        return (-(slowdown + self.wait_weight * wait / HOUR), job.submit_time, job.job_id)
+
+
+PRIORITIES: dict[str, PriorityFunction] = {
+    "fcfs": FcfsPriority(),
+    "lxf": LxfPriority(),
+    "sjf": SjfPriority(),
+    "lxfw": LxfWPriority(),
+}

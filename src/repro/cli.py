@@ -1,0 +1,358 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``months``
+    List the calibrated NCSA IA-64 months with their published statistics.
+``run``
+    Simulate one policy on one month (or an SWF trace) and print the
+    paper's headline measures.
+``figure``
+    Regenerate one of the paper's figures (fig1 ... fig8) at the active
+    experiment scale and print its series.
+``tables``
+    Regenerate Tables 3 and 4 from the synthetic traces.
+``swf-convert``
+    Export a synthetic month as a Standard Workload Format file.
+
+Policy specs accepted by ``run --policy``:
+
+- ``fcfs-bf`` / ``lxf-bf`` / ``sjf-bf`` / ``lxfw-bf`` — priority backfill;
+- ``lookahead`` / ``selective`` / ``slack`` — the §3.2 variants;
+- ``dds/lxf/dynB`` (and any ``<algo>/<heuristic>/<bound>`` combination,
+  bounds ``dynB`` or ``fixB<hours>h``) — search-based policies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.backfill import BackfillPolicy, fcfs_backfill, lxf_backfill
+from repro.backfill.priorities import PRIORITIES
+from repro.backfill.variants import (
+    LookaheadPolicy,
+    SelectiveBackfillPolicy,
+    SlackBackfillPolicy,
+)
+from repro.core.scheduler import make_policy
+from repro.experiments.config import current_scale
+from repro.experiments import figures as fig_mod
+from repro.experiments.runner import simulate
+from repro.metrics.excessive import excessive_wait_stats
+from repro.simulator.policy import SchedulingPolicy
+from repro.util.timeunits import HOUR
+from repro.workloads.calibration import MONTH_ORDER, MONTHS
+from repro.workloads.estimates import MenuEstimates, UniformFactorEstimates, apply_estimates
+from repro.workloads.scaling import scale_to_load
+from repro.workloads.swf import read_swf, write_swf
+from repro.workloads.synthetic import generate_month
+
+_FIGURES = {
+    "fig1": fig_mod.fig1_tree,
+    "fig2": fig_mod.fig2_fixed_bound_sensitivity,
+    "fig3": fig_mod.fig3_original_load,
+    "fig4": fig_mod.fig4_high_load,
+    "fig5": fig_mod.fig5_job_classes,
+    "fig6": fig_mod.fig6_node_limit,
+    "fig7": fig_mod.fig7_algorithms,
+    "fig8": fig_mod.fig8_requested_runtimes,
+}
+
+_ESTIMATES = {
+    "menu": MenuEstimates,
+    "uniform": UniformFactorEstimates,
+}
+
+
+class CliError(Exception):
+    """User-facing CLI error (bad spec, unknown month, ...)."""
+
+
+def parse_policy(
+    spec: str, node_limit: int, runtime_source: bool
+) -> SchedulingPolicy:
+    """Build a policy from a CLI spec string (see module docstring)."""
+    lowered = spec.strip().lower()
+    simple = {
+        "fcfs-bf": lambda: fcfs_backfill(runtime_source),
+        "lxf-bf": lambda: lxf_backfill(runtime_source),
+        "lookahead": lambda: LookaheadPolicy(runtime_source),
+        "selective": lambda: SelectiveBackfillPolicy(runtime_source=runtime_source),
+        "slack": lambda: SlackBackfillPolicy(runtime_source=runtime_source),
+    }
+    if lowered in simple:
+        return simple[lowered]()
+    if lowered.endswith("-bf"):
+        priority_name = lowered[:-3]
+        if priority_name in PRIORITIES:
+            return BackfillPolicy(
+                PRIORITIES[priority_name], runtime_source=runtime_source
+            )
+        raise CliError(
+            f"unknown backfill priority {priority_name!r}; "
+            f"choose from {sorted(PRIORITIES)}"
+        )
+    parts = lowered.split("/")
+    if len(parts) == 3:
+        algorithm, heuristic, bound_spec = parts
+        if bound_spec == "dynb":
+            bound = None
+        elif bound_spec.startswith("fixb") and bound_spec.endswith("h"):
+            try:
+                bound = float(bound_spec[4:-1]) * HOUR
+            except ValueError:
+                raise CliError(f"cannot parse bound {bound_spec!r}") from None
+        else:
+            raise CliError(
+                f"unknown bound {bound_spec!r}; use dynB or fixB<hours>h"
+            )
+        try:
+            return make_policy(
+                algorithm,
+                heuristic,
+                bound=bound,
+                node_limit=node_limit,
+                runtime_source=runtime_source,
+            )
+        except ValueError as exc:
+            raise CliError(str(exc)) from None
+    raise CliError(
+        f"cannot parse policy spec {spec!r}; examples: fcfs-bf, lxf-bf, "
+        "lookahead, dds/lxf/dynB, lds/fcfs/fixB50h"
+    )
+
+
+def _load_workload(args: argparse.Namespace):
+    if args.swf:
+        workload = read_swf(args.swf)
+    else:
+        if args.month not in MONTHS:
+            raise CliError(
+                f"unknown month {args.month!r}; choose from {list(MONTH_ORDER)}"
+            )
+        workload = generate_month(args.month, seed=args.seed, scale=args.scale)
+    if args.load is not None:
+        workload = scale_to_load(workload, args.load)
+    if args.estimates:
+        model = _ESTIMATES[args.estimates]()
+        workload = apply_estimates(workload, model, seed=args.seed)
+    return workload
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_months(args: argparse.Namespace) -> int:
+    print(f"{'month':>9} {'label':>6} {'jobs':>6} {'load':>6} {'runtime limit':>14}")
+    for name in MONTH_ORDER:
+        cal = MONTHS[name]
+        print(
+            f"{name:>9} {cal.label:>6} {cal.total_jobs:>6} "
+            f"{cal.load * 100:>5.0f}% {cal.limits.max_runtime / HOUR:>12.0f} h"
+        )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = _load_workload(args)
+    policy = parse_policy(args.policy, args.node_limit, not args.requested_runtimes)
+    run = simulate(workload, policy)
+    print(f"workload : {workload.name} ({run.metrics.n_jobs} in-window jobs)")
+    print(f"policy   : {run.policy_name}")
+    print(f"load     : {run.offered_load:.2f} offered, {run.utilization:.2f} achieved")
+    print(f"avg wait : {run.metrics.avg_wait_hours:.2f} h")
+    print(f"max wait : {run.metrics.max_wait_hours:.2f} h")
+    print(f"p98 wait : {run.metrics.p98_wait_hours:.2f} h")
+    print(f"slowdown : {run.metrics.avg_bounded_slowdown:.2f} avg bounded")
+    print(f"queue    : {run.avg_queue_length:.2f} jobs (time average)")
+    if args.excess_threshold is not None:
+        stats = excessive_wait_stats(run.jobs, args.excess_threshold * HOUR)
+        print(
+            f"excess   : {stats.total_hours:.2f} h total over "
+            f"{stats.count} jobs (t={args.excess_threshold:g} h)"
+        )
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    fig = _FIGURES[args.name]()
+    print(fig.render())
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    print(fig_mod.table3_job_mix().render())
+    print()
+    print(fig_mod.table4_runtimes().render())
+    return 0
+
+
+def cmd_claims(args: argparse.Namespace) -> int:
+    from repro.experiments.claims import build_context, evaluate_claims, render_claims
+
+    months = args.months or None
+    if months:
+        unknown = [m for m in months if m not in MONTHS]
+        if unknown:
+            raise CliError(f"unknown months {unknown}; choose from {list(MONTH_ORDER)}")
+    context = build_context(current_scale(), months=months)
+    results = evaluate_claims(context)
+    print(render_claims(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def cmd_gantt(args: argparse.Namespace) -> int:
+    from repro.metrics.gantt import describe_schedule
+    from repro.simulator.engine import Simulation
+
+    if args.month not in MONTHS:
+        raise CliError(
+            f"unknown month {args.month!r}; choose from {list(MONTH_ORDER)}"
+        )
+    workload = generate_month(args.month, seed=args.seed, scale=args.scale)
+    policy = parse_policy(args.policy, args.node_limit, True)
+    result = Simulation(
+        workload.fresh_jobs(), policy, workload.cluster, window=workload.window
+    ).run()
+    print(f"{workload.name} under {policy.name}:")
+    print(describe_schedule(result.jobs_in_window(), workload.cluster.nodes))
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.report import reproduce_all
+
+    try:
+        report = reproduce_all(
+            args.out,
+            only=args.only,
+            with_claims=not args.no_claims,
+            progress=print,
+        )
+    except ValueError as exc:
+        raise CliError(str(exc)) from None
+    print(f"report written to {report}")
+    return 0
+
+
+def cmd_swf_convert(args: argparse.Namespace) -> int:
+    if args.month not in MONTHS:
+        raise CliError(
+            f"unknown month {args.month!r}; choose from {list(MONTH_ORDER)}"
+        )
+    workload = generate_month(args.month, seed=args.seed, scale=args.scale)
+    write_swf(
+        workload,
+        args.output,
+        comments=[f"synthetic month {args.month}, seed {args.seed}, scale {args.scale}"],
+    )
+    print(f"wrote {len(workload.jobs)} jobs to {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Search-based job scheduling (CLUSTER 2005) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("months", help="list the calibrated months").set_defaults(
+        func=cmd_months
+    )
+
+    run = sub.add_parser("run", help="simulate one policy on one workload")
+    run.add_argument("--month", default="2003-07", help="calibrated month name")
+    run.add_argument("--swf", default=None, help="SWF trace file instead of a month")
+    run.add_argument("--policy", default="dds/lxf/dynB", help="policy spec")
+    run.add_argument("--seed", type=int, default=2005)
+    run.add_argument("--scale", type=float, default=0.1, help="job-count scale")
+    run.add_argument("--load", type=float, default=None, help="target offered load")
+    run.add_argument("--node-limit", type=int, default=1000, help="search budget L")
+    run.add_argument(
+        "--requested-runtimes",
+        action="store_true",
+        help="plan with R* = R instead of R* = T",
+    )
+    run.add_argument(
+        "--estimates",
+        choices=sorted(_ESTIMATES),
+        default=None,
+        help="synthesize user runtime estimates with this model",
+    )
+    run.add_argument(
+        "--excess-threshold",
+        type=float,
+        default=None,
+        help="also report excessive wait beyond this many hours",
+    )
+    run.set_defaults(func=cmd_run)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("name", choices=sorted(_FIGURES))
+    figure.set_defaults(func=cmd_figure)
+
+    sub.add_parser("tables", help="regenerate Tables 3 and 4").set_defaults(
+        func=cmd_tables
+    )
+
+    claims = sub.add_parser(
+        "claims", help="evaluate the reproduction certificate"
+    )
+    claims.add_argument(
+        "--months",
+        nargs="*",
+        default=None,
+        help="restrict to these months (default: all ten)",
+    )
+    claims.set_defaults(func=cmd_claims)
+
+    gantt = sub.add_parser("gantt", help="render a schedule as a text Gantt chart")
+    gantt.add_argument("--month", default="2003-06")
+    gantt.add_argument("--policy", default="dds/lxf/dynB")
+    gantt.add_argument("--seed", type=int, default=2005)
+    gantt.add_argument("--scale", type=float, default=0.02)
+    gantt.add_argument("--node-limit", type=int, default=200)
+    gantt.add_argument("--width", type=int, default=72)
+    gantt.set_defaults(func=cmd_gantt)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate every table, figure and claim to a directory"
+    )
+    reproduce.add_argument("--out", required=True, help="output directory")
+    reproduce.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="subset of artifacts (table3 table4 fig1 ... fig8)",
+    )
+    reproduce.add_argument(
+        "--no-claims", action="store_true", help="skip the claims certificate"
+    )
+    reproduce.set_defaults(func=cmd_reproduce)
+
+    convert = sub.add_parser("swf-convert", help="export a synthetic month as SWF")
+    convert.add_argument("--month", required=True)
+    convert.add_argument("--output", required=True)
+    convert.add_argument("--seed", type=int, default=2005)
+    convert.add_argument("--scale", type=float, default=1.0)
+    convert.set_defaults(func=cmd_swf_convert)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

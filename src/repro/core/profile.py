@@ -1,0 +1,294 @@
+"""Node-availability profile: free nodes as a step function of time.
+
+This single data structure underlies everything that plans into the future:
+
+- the search-based scheduler places each job of a candidate order at its
+  earliest feasible start ("list scheduling" along a path, paper §2.2);
+- priority backfill gives its reservation the earliest time enough nodes
+  are free, and a backfill candidate is started iff it fits *now* on the
+  profile with the reservation committed (so it can never delay it).
+
+The profile is a piecewise-constant function stored as two parallel lists:
+``times`` (strictly increasing breakpoints, ``times[0]`` is the origin) and
+``free`` (free nodes on ``[times[i], times[i+1])``; the last value extends to
+infinity).  Because every reservation has finite duration, the final segment
+always has all ``capacity`` nodes free, which guarantees every earliest-fit
+query terminates.
+
+Reservations return an undo token; :meth:`release` with that token restores
+the profile exactly, **provided releases happen in LIFO order** — which is
+precisely the depth-first discipline of the search.  This avoids copying the
+profile at every one of the (up to 100K) nodes the search visits.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.simulator.policy import RunningJob
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ReservationToken:
+    """Opaque undo token returned by :meth:`AvailabilityProfile.reserve`."""
+
+    start: float
+    end: float
+    nodes: int
+    created_start: bool
+    created_end: bool
+
+
+class AvailabilityProfile:
+    """Free-node step function with earliest-fit queries.
+
+    Parameters
+    ----------
+    capacity:
+        Total nodes in the machine.
+    origin:
+        Earliest representable time (usually the current simulation time).
+    """
+
+    __slots__ = ("capacity", "times", "free")
+
+    def __init__(self, capacity: int, origin: float = 0.0) -> None:
+        check_positive("capacity", capacity)
+        self.capacity = int(capacity)
+        self.times: list[float] = [float(origin)]
+        self.free: list[int] = [self.capacity]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_running(
+        cls,
+        capacity: int,
+        now: float,
+        running: Sequence["RunningJob"],
+    ) -> "AvailabilityProfile":
+        """Profile as seen by a scheduler at time ``now``.
+
+        ``running`` supplies each running job's node count and believed
+        release time (see :class:`repro.simulator.policy.RunningJob`).
+        """
+        profile = cls(capacity, origin=now)
+        releases = sorted(
+            ((max(r.release_time, now), r.nodes) for r in running),
+            key=lambda p: p[0],
+        )
+        occupied = sum(n for _, n in releases)
+        if occupied > capacity:
+            raise ValueError(
+                f"running jobs occupy {occupied} nodes > capacity {capacity}"
+            )
+        times = [now]
+        free = [capacity - occupied]
+        for release_time, nodes in releases:
+            if release_time - times[-1] <= _EPS:
+                # Release coincides with the current breakpoint: fold it in.
+                free[-1] += nodes
+            else:
+                times.append(release_time)
+                free.append(free[-1] + nodes)
+        profile.times = times
+        profile.free = free
+        return profile
+
+    @classmethod
+    def from_segments(
+        cls, capacity: int, segments: Iterable[tuple[float, int]]
+    ) -> "AvailabilityProfile":
+        """Build directly from ``(time, free)`` pairs (mostly for tests)."""
+        segs = list(segments)
+        if not segs:
+            raise ValueError("need at least one segment")
+        profile = cls(capacity, origin=segs[0][0])
+        times, free = [], []
+        for t, f in segs:
+            if times and t <= times[-1]:
+                raise ValueError("segment times must be strictly increasing")
+            if not (0 <= f <= capacity):
+                raise ValueError(f"free count {f} outside [0, {capacity}]")
+            times.append(float(t))
+            free.append(int(f))
+        if free[-1] != capacity:
+            raise ValueError(
+                "final segment must have all nodes free (finite reservations)"
+            )
+        profile.times = times
+        profile.free = free
+        return profile
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def origin(self) -> float:
+        return self.times[0]
+
+    def free_at(self, t: float) -> int:
+        """Free nodes at time ``t`` (clamped to the origin)."""
+        i = bisect_right(self.times, t) - 1
+        return self.free[max(i, 0)]
+
+    def min_free(self, start: float, end: float) -> int:
+        """Minimum free nodes over ``[start, end)``."""
+        if end <= start:
+            raise ValueError("empty interval")
+        i = max(bisect_right(self.times, start) - 1, 0)
+        lowest = self.free[i]
+        n = len(self.times)
+        while i + 1 < n and self.times[i + 1] < end - _EPS:
+            i += 1
+            lowest = min(lowest, self.free[i])
+        return lowest
+
+    def earliest_start(self, nodes: int, duration: float, earliest: float) -> float:
+        """Earliest ``t >= earliest`` with ``nodes`` free all over
+        ``[t, t + duration)``.
+
+        Raises ``ValueError`` if ``nodes`` exceeds capacity (it can never
+        fit) — callers should have validated admission already.
+        """
+        if nodes > self.capacity:
+            raise ValueError(f"{nodes} nodes exceeds capacity {self.capacity}")
+        check_positive("duration", duration)
+        times, free = self.times, self.free
+        n = len(times)
+        candidate = max(earliest, times[0])
+        i = max(bisect_right(times, candidate) - 1, 0)
+        while True:
+            if free[i] < nodes:
+                # Skip ahead to the next segment with enough free nodes.
+                i += 1
+                while i < n and free[i] < nodes:
+                    i += 1
+                # The last segment always has capacity free, so i < n here.
+                candidate = times[i]
+            end = candidate + duration
+            j = i
+            blocked = -1
+            while j + 1 < n and times[j + 1] < end - _EPS:
+                j += 1
+                if free[j] < nodes:
+                    blocked = j
+                    break
+            if blocked < 0:
+                return candidate
+            i = blocked
+            candidate = times[blocked]
+
+    def segments(self) -> list[tuple[float, int]]:
+        """The ``(time, free)`` breakpoint list (a copy)."""
+        return list(zip(self.times, self.free))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def _ensure_breakpoint(self, t: float) -> tuple[int, bool]:
+        """Index of the segment starting at ``t``, inserting it if needed."""
+        i = bisect_right(self.times, t) - 1
+        if i < 0:
+            raise ValueError(f"time {t} precedes profile origin {self.times[0]}")
+        if abs(self.times[i] - t) <= _EPS:
+            return i, False
+        self.times.insert(i + 1, t)
+        self.free.insert(i + 1, self.free[i])
+        return i + 1, True
+
+    def reserve(
+        self, start: float, duration: float, nodes: int, check: bool = True
+    ) -> ReservationToken:
+        """Claim ``nodes`` nodes over ``[start, start + duration)``.
+
+        Returns a token for :meth:`release`.  With ``check`` (the default)
+        raises if the claim would drive any segment negative.  Callers that
+        just obtained ``start`` from :meth:`earliest_start` may pass
+        ``check=False`` to skip the redundant feasibility scan — the search
+        engine's hottest loop does.
+        """
+        if check:
+            check_positive("duration", duration)
+            check_positive("nodes", nodes)
+        end = start + duration
+        i, created_start = self._ensure_breakpoint(start)
+        j, created_end = self._ensure_breakpoint(end)
+        free = self.free
+        if check and any(free[k] < nodes for k in range(i, j)):
+            # Roll back the breakpoints we just created before raising.
+            if created_end:
+                del self.times[j], self.free[j]
+            if created_start:
+                del self.times[i], self.free[i]
+            raise ValueError(
+                f"cannot reserve {nodes} nodes over [{start}, {end}): "
+                "insufficient availability"
+            )
+        for k in range(i, j):
+            free[k] -= nodes
+        return ReservationToken(start, end, nodes, created_start, created_end)
+
+    def release(self, token: ReservationToken) -> None:
+        """Undo a :meth:`reserve`.
+
+        Must be called in LIFO order with respect to other reserve/release
+        pairs (the search's depth-first discipline guarantees this); the
+        profile is then restored exactly.
+        """
+        i = bisect_right(self.times, token.start) - 1
+        j = bisect_right(self.times, token.end) - 1
+        if i < 0 or abs(self.times[i] - token.start) > _EPS:
+            raise ValueError("release token does not match profile state")
+        if j < 0 or abs(self.times[j] - token.end) > _EPS:
+            raise ValueError("release token does not match profile state")
+        for k in range(i, j):
+            self.free[k] += token.nodes
+            if self.free[k] > self.capacity:
+                raise AssertionError("release drove free nodes above capacity")
+        if token.created_end:
+            del self.times[j], self.free[j]
+        if token.created_start:
+            del self.times[i], self.free[i]
+
+    def copy(self) -> "AvailabilityProfile":
+        """An independent deep copy."""
+        clone = AvailabilityProfile(self.capacity, self.times[0])
+        clone.times = self.times.copy()
+        clone.free = self.free.copy()
+        return clone
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert structural invariants (used heavily by property tests)."""
+        if len(self.times) != len(self.free):
+            raise AssertionError("times/free length mismatch")
+        for a, b in zip(self.times, self.times[1:]):
+            if not a < b:
+                raise AssertionError("breakpoints not strictly increasing")
+        for f in self.free:
+            if not (0 <= f <= self.capacity):
+                raise AssertionError(f"free count {f} outside [0, {self.capacity}]")
+        if self.free[-1] != self.capacity:
+            raise AssertionError("final segment must have all nodes free")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AvailabilityProfile):
+            return NotImplemented
+        return (
+            self.capacity == other.capacity
+            and self.times == other.times
+            and self.free == other.free
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        segs = ", ".join(f"{t:.0f}:{f}" for t, f in zip(self.times, self.free))
+        return f"AvailabilityProfile(cap={self.capacity}, [{segs}])"

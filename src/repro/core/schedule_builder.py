@@ -1,0 +1,40 @@
+"""List scheduling along a path (paper §2.2).
+
+Given an *order* in which jobs are considered, each job is assigned the
+earliest start time feasible with respect to the running jobs and the
+already-placed jobs above it on the path.  Note that the consideration
+order is not the start order: a later-considered job may slot into an
+earlier hole.
+
+The search engine inlines this logic for speed; this module is the
+reference implementation used by tests (the two must agree) and by any
+caller that wants to evaluate a fixed order.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.profile import AvailabilityProfile
+from repro.simulator.job import Job
+
+
+def build_schedule(
+    order: Sequence[Job],
+    profile: AvailabilityProfile,
+    now: float,
+    use_actual_runtime: bool = True,
+) -> list[tuple[Job, float]]:
+    """Place ``order`` greedily on a copy of ``profile``.
+
+    Returns ``(job, start)`` pairs in consideration order.  The caller's
+    profile is not modified.
+    """
+    working = profile.copy()
+    placed: list[tuple[Job, float]] = []
+    for job in order:
+        runtime = job.scheduler_runtime(use_actual_runtime)
+        start = working.earliest_start(job.nodes, runtime, now)
+        working.reserve(start, runtime, job.nodes)
+        placed.append((job, start))
+    return placed

@@ -1,0 +1,425 @@
+"""Node-limited anytime LDS / DDS over candidate schedules (paper §2.2-2.3).
+
+One :class:`DiscrepancySearch` run explores orderings of the waiting jobs.
+Each tree node places the next job of the ordering at its earliest feasible
+start on the availability profile (list scheduling along the path); each
+leaf is a complete candidate schedule scored with the hierarchical
+objective.  Iterations follow exactly the permutation orders defined in
+:mod:`repro.core.search_tree`; prefixes are shared within an iteration via
+depth-first reserve/release on the profile, and every placement counts as
+one node visit against the limit ``L``.
+
+The search is *anytime*: the best complete schedule found so far is always
+available.  The pure-heuristic path (iteration 0) is completed even when
+``L`` is smaller than the queue length, so a valid schedule always exists.
+
+Objectives come in two forms: the paper's two-level objective runs through
+a specialized fast path, and arbitrary lexicographic objectives (fairshare,
+priorities, max-wait — see :mod:`repro.core.criteria`) plug in via
+``SearchProblem.evaluator``.
+
+Branch-and-bound pruning is OFF by default — the paper explicitly leaves it
+to future work and its node accounting would differ — but is available via
+``prune=True`` for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from repro.core.criteria import CriteriaEvaluator, MultiScore
+from repro.core.objective import ObjectiveConfig, ScheduleScore
+from repro.core.profile import AvailabilityProfile
+from repro.core.search_tree import max_discrepancies
+from repro.simulator.job import Job
+
+_ALGORITHMS = ("dds", "lds")
+
+#: A search score: the paper's two-level score or a general N-level one.
+Score = Union[ScheduleScore, MultiScore]
+
+
+class _StopSearch(Exception):
+    """Raised internally when the node budget is exhausted."""
+
+
+def resolve_runtimes(problem: "SearchProblem") -> dict[int, float]:
+    """The planning runtime of every job in ``problem``."""
+    if problem.runtimes is not None:
+        rt = dict(problem.runtimes)
+        missing = {j.job_id for j in problem.jobs} - set(rt)
+        if missing:
+            raise ValueError(f"runtimes missing for jobs {sorted(missing)}")
+        return rt
+    use_actual = problem.use_actual_runtime
+    return {j.job_id: j.scheduler_runtime(use_actual) for j in problem.jobs}
+
+
+def build_strategy(
+    problem: "SearchProblem", rt: dict[int, float]
+) -> tuple[tuple, Callable, Callable, Callable]:
+    """The scoring strategy for a problem: ``(acc0, extend, score, lower)``.
+
+    Shared by the tree search and the local-search improver so both score
+    schedules identically.
+    """
+    evaluator = problem.evaluator
+    if evaluator is not None:
+        return (
+            evaluator.start(),
+            evaluator.extend,
+            evaluator.score,
+            evaluator.lower_bound,
+        )
+    omega = problem.omega
+    floor = problem.objective.slowdown_floor
+
+    def extend(acc: tuple, job: Job, start: float) -> tuple:
+        wait = start - job.submit_time
+        denom = rt[job.job_id]
+        if denom < floor:
+            denom = floor
+        excess = wait - omega
+        return (
+            acc[0] + (excess if excess > 0.0 else 0.0),
+            acc[1] + (wait + denom) / denom,
+        )
+
+    def score(acc: tuple, n_jobs: int) -> ScheduleScore:
+        return ScheduleScore(acc[0], acc[1], n_jobs)
+
+    def lower(acc: tuple, left: int) -> ScheduleScore:
+        # Unplaced jobs add >= 0 excess and >= 1 slowdown each.
+        return ScheduleScore(acc[0], acc[1] + left, 0)
+
+    return (0.0, 0.0), extend, score, lower
+
+
+@dataclass(frozen=True)
+class SearchProblem:
+    """One scheduling decision point, ready to be searched.
+
+    ``jobs`` must already be in branching-heuristic order; ``profile`` must
+    be rooted at ``now`` and reflect the running jobs.  ``omega`` is the
+    resolved target wait bound for this decision.
+    """
+
+    jobs: tuple[Job, ...]
+    profile: AvailabilityProfile
+    now: float
+    omega: float
+    objective: ObjectiveConfig
+    use_actual_runtime: bool = True
+    #: Pre-resolved planning runtimes per job id (overrides
+    #: ``use_actual_runtime``); how policies with predictors or other
+    #: custom :class:`~repro.predict.source.RuntimeSource` objects feed
+    #: their estimates into the search.
+    runtimes: dict[int, float] | None = None
+    #: General N-level objective; when set it supersedes ``objective`` /
+    #: ``omega`` for scoring (placement is unaffected).
+    evaluator: CriteriaEvaluator | None = None
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search."""
+
+    best_order: tuple[Job, ...]
+    best_starts: dict[int, float]  # job_id -> planned start time
+    best_score: Score
+    nodes_visited: int
+    leaves_evaluated: int
+    iterations_started: int
+    limit_hit: bool
+    improved_after_first: bool = False
+    #: Anytime profile: ``(nodes_visited, score)`` at every improvement,
+    #: recorded only when the search ran with ``record_anytime=True``.
+    anytime: list[tuple[int, Score]] | None = None
+
+    def jobs_startable_now(self, now: float) -> list[Job]:
+        """Jobs whose planned start in the best schedule is ``now``.
+
+        Exact comparison on purpose: the profile returns either ``now``
+        itself or a strictly later breakpoint, and a release can occur
+        arbitrarily soon after ``now`` — any epsilon here could start a job
+        before its nodes exist.
+        """
+        return [
+            job for job in self.best_order if self.best_starts[job.job_id] <= now
+        ]
+
+
+@dataclass
+class DiscrepancySearch:
+    """A configured search algorithm.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"dds"`` or ``"lds"``.
+    node_limit:
+        Maximum node visits ``L`` per search (paper varies 1K-100K); ``None``
+        means exhaustive.
+    prune:
+        Optional branch-and-bound pruning (extension; default off).
+    """
+
+    algorithm: str = "dds"
+    node_limit: int | None = 1000
+    prune: bool = False
+    #: Fraction of the node budget reserved for a hill-climbing pass over
+    #: the tree search's best order (the paper's local-search future work;
+    #: see :mod:`repro.core.local_search`).  0 disables it.
+    local_search_fraction: float = 0.0
+    #: Record the anytime profile (score vs. nodes visited at every
+    #: improvement) in the result — the empirical basis for choosing L.
+    record_anytime: bool = False
+    #: Wall-clock budget per search.  The paper imposes a node limit "for
+    #: comparison purposes, rather than a time limit" (§2.2); production
+    #: deployments want the time limit.  Both may be set; whichever is
+    #: exhausted first stops the search.
+    time_limit_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in _ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; choose from {_ALGORITHMS}"
+            )
+        if self.node_limit is not None and self.node_limit < 1:
+            raise ValueError("node_limit must be >= 1 or None")
+        if not 0.0 <= self.local_search_fraction < 1.0:
+            raise ValueError("local_search_fraction must be in [0, 1)")
+        if self.time_limit_seconds is not None and self.time_limit_seconds <= 0:
+            raise ValueError("time_limit_seconds must be > 0 or None")
+
+    # ------------------------------------------------------------------
+    def search(self, problem: SearchProblem) -> SearchResult:
+        """Run the search and return the best schedule found."""
+        tree_budget = self.node_limit
+        if self.node_limit is not None and self.local_search_fraction > 0.0:
+            tree_budget = max(
+                1, round(self.node_limit * (1.0 - self.local_search_fraction))
+            )
+        runner = _SearchRun(
+            problem,
+            self.algorithm,
+            tree_budget,
+            self.prune,
+            self.record_anytime,
+            self.time_limit_seconds,
+        )
+        result = runner.run()
+        if self.local_search_fraction <= 0.0 or not result.best_order:
+            return result
+        # Spend what's left of the full budget on hill climbing.
+        from repro.core.local_search import hill_climb
+
+        remaining = (
+            None
+            if self.node_limit is None
+            else max(0, self.node_limit - result.nodes_visited)
+        )
+        if remaining is not None and remaining < len(result.best_order) * 2:
+            return result  # not enough budget for even one neighbour
+        climb = hill_climb(problem, result.best_order, remaining)
+        result.nodes_visited += climb.nodes_visited
+        if climb.improved and climb.best_score < result.best_score:
+            result.best_order = climb.best_order
+            result.best_starts = climb.best_starts
+            result.best_score = climb.best_score  # type: ignore[assignment]
+            result.improved_after_first = True
+        return result
+
+
+class _SearchRun:
+    """Mutable state for one search invocation.
+
+    The DFS threads an opaque accumulator ``acc`` down each path; the
+    strategy closures (``_acc0``/``_extend``/``_score_of``/``_lower_of``)
+    are bound in ``__init__`` to either the fast two-level path or the
+    general criteria evaluator.
+    """
+
+    def __init__(
+        self,
+        problem: SearchProblem,
+        algorithm: str,
+        node_limit: int | None,
+        prune: bool,
+        record_anytime: bool = False,
+        time_limit_seconds: float | None = None,
+    ) -> None:
+        self.problem = problem
+        self.algorithm = algorithm
+        self.node_limit = node_limit
+        self.prune = prune
+        self.anytime: list[tuple[int, Score]] | None = (
+            [] if record_anytime else None
+        )
+        self.time_limit_seconds = time_limit_seconds
+        self._deadline: float | None = None
+        if time_limit_seconds is not None:
+            self._deadline = _wallclock.perf_counter() + time_limit_seconds
+
+        self.profile = problem.profile.copy()  # never mutate the caller's
+        self.nodes_visited = 0
+        self.leaves_evaluated = 0
+        self.iterations_started = 0
+        self.limit_hit = False
+        self.improved_after_first = False
+
+        self.best_score: Score | None = None
+        self.best_order: tuple[Job, ...] = ()
+        self.best_starts: dict[int, float] = {}
+
+        # Per-job planning runtimes, resolved once for the whole search.
+        self._rt = resolve_runtimes(problem)
+        self._prefix: list[tuple[Job, float]] = []
+        self._acc0, self._extend, self._score_of, self._lower_of = build_strategy(
+            problem, self._rt
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> SearchResult:
+        jobs = list(self.problem.jobs)
+        n = len(jobs)
+        if n == 0:
+            return SearchResult(
+                best_order=(),
+                best_starts={},
+                best_score=self._score_of(self._acc0, 0),
+                nodes_visited=0,
+                leaves_evaluated=0,
+                iterations_started=0,
+                limit_hit=False,
+            )
+        try:
+            for iteration in range(0, max_discrepancies(n) + 1):
+                self.iterations_started += 1
+                if self.algorithm == "lds":
+                    self._dfs_lds(jobs, iteration, self._acc0)
+                else:
+                    if iteration == 0:
+                        # DDS iteration 0 == LDS iteration 0: heuristic path.
+                        self._dfs_lds(jobs, 0, self._acc0)
+                    else:
+                        self._dfs_dds(jobs, iteration, 1, self._acc0)
+        except _StopSearch:
+            self.limit_hit = True
+        assert self.best_score is not None  # iteration 0 always completes
+        return SearchResult(
+            best_order=self.best_order,
+            best_starts=self.best_starts,
+            best_score=self.best_score,
+            nodes_visited=self.nodes_visited,
+            leaves_evaluated=self.leaves_evaluated,
+            iterations_started=self.iterations_started,
+            limit_hit=self.limit_hit,
+            improved_after_first=self.improved_after_first,
+            anytime=self.anytime,
+        )
+
+    # ------------------------------------------------------------------
+    # Shared node machinery
+    # ------------------------------------------------------------------
+    def _check_budget(self) -> None:
+        """Raise once a budget is gone — but never during the first leaf."""
+        if self.leaves_evaluated == 0:
+            return  # the heuristic schedule always completes
+        if self.node_limit is not None and self.nodes_visited >= self.node_limit:
+            raise _StopSearch
+        # The wall clock is polled sparsely: every 64 node visits.
+        if self._deadline is not None and self.nodes_visited % 64 == 0:
+            if _wallclock.perf_counter() >= self._deadline:
+                raise _StopSearch
+
+    def _visit(self, job: Job) -> tuple[object, float]:
+        """Place ``job`` at its earliest start; returns (undo token, start)."""
+        self.nodes_visited += 1
+        rt = self._rt[job.job_id]
+        start = self.profile.earliest_start(job.nodes, rt, self.problem.now)
+        token = self.profile.reserve(start, rt, job.nodes, check=False)
+        self._prefix.append((job, start))
+        return token, start
+
+    def _unvisit(self, token: object) -> None:
+        self._prefix.pop()
+        self.profile.release(token)  # type: ignore[arg-type]
+
+    def _leaf(self, acc: tuple) -> None:
+        self.leaves_evaluated += 1
+        score = self._score_of(acc, len(self._prefix))
+        if self.best_score is None or score < self.best_score:
+            if self.best_score is not None:
+                self.improved_after_first = True
+            self.best_score = score
+            self.best_order = tuple(job for job, _ in self._prefix)
+            self.best_starts = {job.job_id: start for job, start in self._prefix}
+            if self.anytime is not None:
+                self.anytime.append((self.nodes_visited, score))
+
+    def _prune_child(self, acc: tuple, left: int) -> bool:
+        """Branch-and-bound: can this partial schedule still beat the best?"""
+        if not self.prune or self.best_score is None:
+            return False
+        return not (self._lower_of(acc, left) < self.best_score)
+
+    # ------------------------------------------------------------------
+    # LDS: iteration k explores paths with exactly k discrepancies.
+    # ------------------------------------------------------------------
+    def _dfs_lds(self, remaining: list[Job], k_left: int, acc: tuple) -> None:
+        if not remaining:
+            if k_left == 0:
+                self._leaf(acc)
+            return
+        m = len(remaining)
+        for idx in range(m):
+            cost = 1 if idx > 0 else 0
+            if cost > k_left:
+                break
+            if k_left - cost > max(0, m - 2):
+                continue
+            self._check_budget()
+            job = remaining[idx]
+            token, start = self._visit(job)
+            try:
+                new_acc = self._extend(acc, job, start)
+                if not self._prune_child(new_acc, m - 1):
+                    rest = remaining[:idx] + remaining[idx + 1 :]
+                    self._dfs_lds(rest, k_left - cost, new_acc)
+            finally:
+                self._unvisit(token)
+
+    # ------------------------------------------------------------------
+    # DDS: iteration i forces a discrepancy at level i, allows anything
+    # above, prohibits any below (levels are 1-based).
+    # ------------------------------------------------------------------
+    def _dfs_dds(
+        self, remaining: list[Job], iteration: int, level: int, acc: tuple
+    ) -> None:
+        if not remaining:
+            self._leaf(acc)
+            return
+        m = len(remaining)
+        if level < iteration:
+            indices = range(m)
+        elif level == iteration:
+            if m < 2:
+                return  # no discrepancy possible; iteration covers nothing here
+            indices = range(1, m)
+        else:
+            indices = range(1)
+        for idx in indices:
+            self._check_budget()
+            job = remaining[idx]
+            token, start = self._visit(job)
+            try:
+                new_acc = self._extend(acc, job, start)
+                if not self._prune_child(new_acc, m - 1):
+                    rest = remaining[:idx] + remaining[idx + 1 :]
+                    self._dfs_dds(rest, iteration, level + 1, new_acc)
+            finally:
+                self._unvisit(token)

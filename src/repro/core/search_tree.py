@@ -1,0 +1,184 @@
+"""Search-tree combinatorics and pure permutation-order generators.
+
+The search tree over ``n`` waiting jobs (paper Figure 1) has one path per
+permutation: ``n!`` paths and ``sum_{k=1..n} n!/(n-k)!`` nodes (excluding
+the root).  At a node whose remaining items are listed in heuristic order,
+choosing the first item follows the heuristic; choosing any other item is a
+*discrepancy* (binary, regardless of how far down the list the choice is —
+the paper's convention).
+
+The generators here enumerate complete permutations in exactly the order the
+LDS and DDS iterations visit them.  They are pure combinatorics — no
+scheduling state — and power both the Figure 1 reproduction and the
+correctness tests of the node-limited search engine in
+:mod:`repro.core.search` (which shares prefixes and accounts for node
+visits, but must agree with these orders).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def num_paths(n: int) -> int:
+    """Number of root-to-leaf paths in the tree over ``n`` jobs: ``n!``."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    return math.factorial(n)
+
+
+def num_nodes(n: int) -> int:
+    """Number of nodes (excluding the root): ``sum_{k=1..n} n!/(n-k)!``.
+
+    Matches Figure 1(d): n=4 -> 64, n=10 -> 9,864,100.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    fact_n = math.factorial(n)
+    return sum(fact_n // math.factorial(n - k) for k in range(1, n + 1))
+
+
+def max_discrepancies(n: int) -> int:
+    """Most discrepancies any path can contain.
+
+    The deepest node has a single child (one remaining item), which is by
+    definition the heuristic choice, so at most ``n - 1`` levels can carry a
+    discrepancy.
+    """
+    return max(0, n - 1)
+
+
+# ----------------------------------------------------------------------
+# LDS: iteration k visits paths with exactly k discrepancies, in
+# left-to-right (depth-first) tree order.
+# ----------------------------------------------------------------------
+def lds_iteration_paths(items: Sequence[T], k: int) -> Iterator[tuple[T, ...]]:
+    """Yield the permutations with exactly ``k`` discrepancies, in DFS order.
+
+    ``items`` must already be in heuristic order.
+    """
+    n = len(items)
+    if k < 0:
+        raise ValueError("k must be >= 0")
+
+    def rec(remaining: list[T], k_left: int) -> Iterator[tuple[T, ...]]:
+        if not remaining:
+            if k_left == 0:
+                yield ()
+            return
+        m = len(remaining)
+        for idx, choice in enumerate(remaining):
+            cost = 1 if idx > 0 else 0
+            if cost > k_left:
+                break  # all further children cost 1 as well
+            # At most m - 2 discrepancies can occur strictly below, because
+            # the final level has a single (heuristic) child.
+            if k_left - cost > max(0, m - 2):
+                continue
+            rest = remaining[:idx] + remaining[idx + 1 :]
+            for tail in rec(rest, k_left - cost):
+                yield (choice, *tail)
+
+    return rec(list(items), k)
+
+
+def lds_order(items: Sequence[T]) -> Iterator[tuple[T, ...]]:
+    """All permutations in full LDS order: iteration 0, 1, 2, ..."""
+    n = len(items)
+    if n == 0:
+        yield ()
+        return
+    for k in range(0, max_discrepancies(n) + 1):
+        yield from lds_iteration_paths(items, k)
+
+
+def count_lds_iteration(n: int, k: int) -> int:
+    """Number of paths in LDS iteration ``k`` without enumerating them.
+
+    A path with exactly ``k`` discrepancies chooses ``k`` distinct levels
+    ``l_1 < ... < l_k`` (level ``l`` has ``n - l + 1`` children, so a
+    discrepancy there has ``n - l`` variants, and level ``n`` has none).
+    Hence the count is ``sum over k-subsets of {1..n-1} of prod (n - l_i)``,
+    which is the coefficient extraction below (elementary symmetric
+    polynomial of ``{n-1, n-2, ..., 1}``).
+    """
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    values = list(range(n - 1, 0, -1))  # n - l for l = 1..n-1
+    # e_k(values) via dynamic programming.
+    coeffs = [1] + [0] * k
+    for v in values:
+        for j in range(min(k, len(coeffs) - 1), 0, -1):
+            coeffs[j] += coeffs[j - 1] * v
+    return coeffs[k] if k <= len(values) else 0
+
+
+# ----------------------------------------------------------------------
+# DDS: iteration 0 is the pure-heuristic path; iteration i forces a
+# discrepancy at level i, allows anything above, prohibits below.
+# ----------------------------------------------------------------------
+def dds_iteration_paths(items: Sequence[T], i: int) -> Iterator[tuple[T, ...]]:
+    """Yield the permutations of DDS iteration ``i``, in DFS order.
+
+    Levels are 1-based: the branch out of the root is level 1 (the paper's
+    "depth one").  Iteration 0 yields only the heuristic path; iteration
+    ``i >= 1`` yields paths whose *deepest* discrepancy is at level ``i``:
+    any branch at levels ``< i``, a forced discrepancy at level ``i``, and
+    the heuristic branch everywhere below.
+    """
+    n = len(items)
+    if i < 0:
+        raise ValueError("iteration must be >= 0")
+    if i == 0:
+        return iter([tuple(items)])
+    if i > max_discrepancies(n):
+        return iter(())  # level i has a single child; no discrepancy possible
+
+    def rec(remaining: list[T], level: int) -> Iterator[tuple[T, ...]]:
+        if not remaining:
+            yield ()
+            return
+        if level < i:
+            choices = list(enumerate(remaining))
+        elif level == i:
+            choices = list(enumerate(remaining))[1:]  # discrepancy forced
+        else:
+            choices = [(0, remaining[0])]  # heuristic only
+        for idx, choice in choices:
+            rest = remaining[:idx] + remaining[idx + 1 :]
+            for tail in rec(rest, level + 1):
+                yield (choice, *tail)
+
+    return rec(list(items), 1)
+
+
+def dds_order(items: Sequence[T]) -> Iterator[tuple[T, ...]]:
+    """All permutations in full DDS order: iteration 0, 1, 2, ..."""
+    n = len(items)
+    if n == 0:
+        yield ()
+        return
+    for i in range(0, max_discrepancies(n) + 1):
+        yield from dds_iteration_paths(items, i)
+
+
+def count_dds_iteration(n: int, i: int) -> int:
+    """Number of paths in DDS iteration ``i``.
+
+    Iteration 0 has 1 path; iteration ``i >= 1`` has
+    ``n * (n-1) * ... * (n-i+2) * (n-i)``: free choice at levels ``1..i-1``
+    and a forced discrepancy (``n - i`` variants) at level ``i``.
+    """
+    if i < 0:
+        raise ValueError("iteration must be >= 0")
+    if i == 0:
+        return 1 if n >= 0 else 0
+    if i > max_discrepancies(n):
+        return 0
+    count = n - i  # discrepancy variants at level i
+    for level in range(1, i):
+        count *= n - level + 1
+    return count

@@ -1,0 +1,44 @@
+"""Experiment harness: month x policy matrices and per-figure reproductions.
+
+- :mod:`repro.experiments.runner` — run one policy on one workload and
+  collect every measure the paper reports; run whole matrices.
+- :mod:`repro.experiments.config` — bench-scale vs. paper-scale settings
+  (the ``REPRO_FULL_SCALE=1`` switch).
+- :mod:`repro.experiments.figures` — one function per table/figure of the
+  evaluation, returning printable series (see benchmarks/).
+"""
+
+from repro.experiments.runner import PolicyRun, run_matrix, simulate
+from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.figures import (
+    FigureSeries,
+    fig1_tree,
+    fig2_fixed_bound_sensitivity,
+    fig3_original_load,
+    fig4_high_load,
+    fig5_job_classes,
+    fig6_node_limit,
+    fig7_algorithms,
+    fig8_requested_runtimes,
+    table3_job_mix,
+    table4_runtimes,
+)
+
+__all__ = [
+    "PolicyRun",
+    "simulate",
+    "run_matrix",
+    "ExperimentScale",
+    "current_scale",
+    "FigureSeries",
+    "fig1_tree",
+    "fig2_fixed_bound_sensitivity",
+    "fig3_original_load",
+    "fig4_high_load",
+    "fig5_job_classes",
+    "fig6_node_limit",
+    "fig7_algorithms",
+    "fig8_requested_runtimes",
+    "table3_job_mix",
+    "table4_runtimes",
+]

@@ -1,0 +1,257 @@
+"""The reproduction certificate: every qualitative claim, checked.
+
+EXPERIMENTS.md records paper-vs-measured narratively; this module does it
+*executably*.  Each :class:`Claim` encodes one qualitative statement from
+the paper's evaluation as a predicate over simulation results; the suite
+runs the shared simulation matrix once and reports PASS/FAIL per claim
+with the numbers behind the verdict.
+
+Claims are aggregate by design (sums or most-months majorities): at
+reduced scale individual months are noisy, and the paper's own claims are
+about tendencies across its ten months.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.backfill import fcfs_backfill, lxf_backfill
+from repro.backfill.variants import LookaheadPolicy, SelectiveBackfillPolicy
+from repro.core.scheduler import make_policy
+from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.figures import HIGH_LOAD, _month_at_load
+from repro.experiments.runner import PolicyRun, simulate
+from repro.metrics.excessive import reference_thresholds
+from repro.workloads.calibration import MONTH_ORDER
+
+
+@dataclass
+class ClaimResult:
+    claim_id: str
+    statement: str
+    passed: bool
+    details: str
+
+
+@dataclass
+class ClaimContext:
+    """Shared simulation results all claims read from."""
+
+    months: list[str]
+    runs: dict[tuple[str, str], PolicyRun]  # (policy key, month) -> run
+    thresholds: dict[str, float]  # month -> FCFS-BF max-wait threshold (s)
+    extras: dict = field(default_factory=dict)
+
+    def series(self, policy: str, metric: Callable[[PolicyRun], float]) -> list[float]:
+        return [metric(self.runs[(policy, m)]) for m in self.months]
+
+    def total(self, policy: str, metric: Callable[[PolicyRun], float]) -> float:
+        return sum(self.series(policy, metric))
+
+    def wins(
+        self,
+        a: str,
+        b: str,
+        metric: Callable[[PolicyRun], float],
+    ) -> int:
+        """Months where policy ``a`` scores strictly lower than ``b``."""
+        sa, sb = self.series(a, metric), self.series(b, metric)
+        return sum(1 for x, y in zip(sa, sb) if x < y)
+
+    def excess_total(self, policy: str) -> float:
+        return sum(
+            self.runs[(policy, m)].excessive(self.thresholds[m]).total_hours
+            for m in self.months
+        )
+
+
+def build_context(
+    exp: ExperimentScale | None = None,
+    months: list[str] | None = None,
+) -> ClaimContext:
+    """Run the shared high-load simulation matrix once."""
+    exp = exp or current_scale()
+    months = months or list(MONTH_ORDER)
+    L1 = exp.L(1000)
+    L2 = exp.L(2000)
+    policies: dict[str, Callable] = {
+        "fcfs-bf": fcfs_backfill,
+        "lxf-bf": lxf_backfill,
+        "dds-lxf": lambda: make_policy("dds", "lxf", node_limit=L1),
+        "dds-fcfs": lambda: make_policy("dds", "fcfs", node_limit=L2),
+        "lds-lxf": lambda: make_policy("lds", "lxf", node_limit=L2),
+        "lookahead": LookaheadPolicy,
+        "selective": SelectiveBackfillPolicy,
+    }
+    runs: dict[tuple[str, str], PolicyRun] = {}
+    thresholds: dict[str, float] = {}
+    for month in months:
+        workload = _month_at_load(month, exp.seed, exp.job_scale, HIGH_LOAD)
+        for key, factory in policies.items():
+            runs[(key, month)] = simulate(workload, factory())
+        thresholds[month] = reference_thresholds(runs[("fcfs-bf", month)].jobs)[0]
+
+    context = ClaimContext(months=months, runs=runs, thresholds=thresholds)
+
+    # Figure-6 endpoints on the hard month (January 2004).
+    hard = "2004-01"
+    if hard in months:
+        workload = _month_at_load(hard, exp.seed, exp.job_scale, HIGH_LOAD)
+        small = simulate(workload, make_policy("dds", "lxf", node_limit=exp.L(1000)))
+        large = simulate(workload, make_policy("dds", "lxf", node_limit=exp.L(10000)))
+        context.extras["fig6"] = (small, large, thresholds[hard])
+    return context
+
+
+# ----------------------------------------------------------------------
+# The claims
+# ----------------------------------------------------------------------
+def _avg_slowdown(run: PolicyRun) -> float:
+    return run.metrics.avg_bounded_slowdown
+
+
+def _max_wait(run: PolicyRun) -> float:
+    return run.metrics.max_wait_hours
+
+
+def _avg_wait(run: PolicyRun) -> float:
+    return run.metrics.avg_wait_hours
+
+
+def evaluate_claims(context: ClaimContext) -> list[ClaimResult]:
+    """Evaluate every claim against the shared context."""
+    n = len(context.months)
+    results: list[ClaimResult] = []
+
+    def claim(claim_id: str, statement: str, passed: bool, details: str) -> None:
+        results.append(ClaimResult(claim_id, statement, passed, details))
+
+    # --- The backfill trade-off (paper §3.2, Figures 3-4) -------------
+    wins = context.wins("lxf-bf", "fcfs-bf", _avg_slowdown)
+    claim(
+        "C1",
+        "LXF-BF beats FCFS-BF on avg slowdown in most months",
+        wins >= n * 0.6,
+        f"{wins}/{n} months",
+    )
+    fcfs_max = context.total("fcfs-bf", _max_wait)
+    lxf_max = context.total("lxf-bf", _max_wait)
+    claim(
+        "C2",
+        "FCFS-BF's aggregate max wait is below LXF-BF's",
+        fcfs_max < lxf_max,
+        f"{fcfs_max:.0f} h vs {lxf_max:.0f} h",
+    )
+
+    # --- DDS/lxf/dynB: best of both (Figures 3-4) ---------------------
+    dds_max = context.total("dds-lxf", _max_wait)
+    claim(
+        "C3",
+        "DDS/lxf/dynB's aggregate max wait tracks the better baseline",
+        dds_max <= min(fcfs_max, lxf_max) * 1.15,
+        f"DDS {dds_max:.0f} h vs best baseline {min(fcfs_max, lxf_max):.0f} h",
+    )
+    closer = sum(
+        1
+        for i in range(n)
+        if abs(
+            context.series("dds-lxf", _avg_slowdown)[i]
+            - context.series("lxf-bf", _avg_slowdown)[i]
+        )
+        <= abs(
+            context.series("dds-lxf", _avg_slowdown)[i]
+            - context.series("fcfs-bf", _avg_slowdown)[i]
+        )
+    )
+    claim(
+        "C4",
+        "DDS/lxf/dynB's avg slowdown sits nearer LXF-BF than FCFS-BF",
+        closer >= n * 0.6,
+        f"{closer}/{n} months",
+    )
+
+    # --- Excessive wait (Figure 4e-h) ----------------------------------
+    fcfs_excess = context.excess_total("fcfs-bf")
+    claim(
+        "C5",
+        "FCFS-BF has zero total excessive wait w.r.t. its own max",
+        abs(fcfs_excess) < 1e-9,
+        f"{fcfs_excess:.3f} h",
+    )
+    dds_excess = context.excess_total("dds-lxf")
+    lxf_excess = context.excess_total("lxf-bf")
+    claim(
+        "C6",
+        "DDS/lxf/dynB accumulates less excessive wait than LXF-BF",
+        dds_excess <= lxf_excess + 1e-9,
+        f"{dds_excess:.1f} h vs {lxf_excess:.1f} h",
+    )
+
+    # --- Algorithms and heuristics (Figure 7) --------------------------
+    fcfs_h = context.total("dds-fcfs", _avg_slowdown)
+    lxf_h = context.total("dds-lxf", _avg_slowdown)
+    claim(
+        "C7",
+        "lxf branching beats fcfs branching on avg slowdown",
+        lxf_h <= fcfs_h * 1.05,
+        f"DDS/lxf {lxf_h:.0f} vs DDS/fcfs {fcfs_h:.0f} (totals)",
+    )
+    if "2004-01" in context.months:
+        lds_hard = (
+            context.runs[("lds-lxf", "2004-01")]
+            .excessive(context.thresholds["2004-01"])
+            .total_hours
+        )
+        dds_hard = (
+            context.runs[("dds-lxf", "2004-01")]
+            .excessive(context.thresholds["2004-01"])
+            .total_hours
+        )
+        claim(
+            "C8",
+            "LDS/lxf trails DDS/lxf on excessive wait in the hard month",
+            lds_hard >= dds_hard - 1e-9,
+            f"LDS {lds_hard:.1f} h vs DDS {dds_hard:.1f} h (1/04)",
+        )
+
+    # --- Node limit (Figure 6) ------------------------------------------
+    if "fig6" in context.extras:
+        small, large, threshold = context.extras["fig6"]
+        small_excess = small.excessive(threshold).total_hours
+        large_excess = large.excessive(threshold).total_hours
+        claim(
+            "C9",
+            "A larger search budget reduces excessive wait in the hard month",
+            large_excess <= small_excess + 1e-9,
+            f"L-small {small_excess:.1f} h -> L-large {large_excess:.1f} h",
+        )
+
+    # --- Backfill variants (paper §3.2 observations) --------------------
+    look = context.total("lookahead", _avg_slowdown)
+    fcfs_s = context.total("fcfs-bf", _avg_slowdown)
+    claim(
+        "C10",
+        "Lookahead performs very similarly to FCFS-BF",
+        abs(look - fcfs_s) <= fcfs_s * 0.15,
+        f"Lookahead {look:.0f} vs FCFS-BF {fcfs_s:.0f} (slowdown totals)",
+    )
+    selective = context.total("selective", _avg_slowdown)
+    claim(
+        "C11",
+        "Selective-backfill improves FCFS-BF's slowdown like LXF-BF does",
+        selective <= fcfs_s,
+        f"Selective {selective:.0f} vs FCFS-BF {fcfs_s:.0f}",
+    )
+    return results
+
+
+def render_claims(results: list[ClaimResult]) -> str:
+    lines = ["Reproduction certificate (qualitative claims, paper vs measured)"]
+    width = max(len(r.statement) for r in results) + 2
+    for r in results:
+        verdict = "PASS" if r.passed else "FAIL"
+        lines.append(f"  [{verdict}] {r.claim_id:>4}  {r.statement:<{width}} {r.details}")
+    passed = sum(r.passed for r in results)
+    lines.append(f"  {passed}/{len(results)} claims reproduced")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Bench-scale vs. paper-scale experiment settings.
+
+A full paper-scale month is 2-4k jobs and search budgets up to L = 100K
+node visits per decision — hours of CPU per policy in pure Python.  The
+benchmarks therefore default to *reduced-scale* months: the same
+distributions, fewer jobs, and search budgets reduced by the same factor,
+which keeps the discrepancy-search regime intact (the budget still covers a
+vanishing fraction of the n! tree; see DESIGN.md §4.3).
+
+Set ``REPRO_FULL_SCALE=1`` to run the paper's exact sizes, or
+``REPRO_SCALE=<float>`` / ``REPRO_L_FACTOR=<float>`` for anything between.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scaling knobs applied uniformly across the experiment suite.
+
+    ``job_scale`` multiplies monthly job counts; ``node_limit_factor``
+    multiplies the paper's search budgets (L).  ``seed`` is the master
+    workload seed.
+    """
+
+    job_scale: float = 0.15
+    node_limit_factor: float = 0.1
+    seed: int = 2005
+
+    def L(self, paper_value: int) -> int:
+        """Scale one of the paper's node limits (1K, 2K, 4K, 8K, 100K)."""
+        return max(16, round(paper_value * self.node_limit_factor))
+
+
+#: The paper's own sizes.
+FULL_SCALE = ExperimentScale(job_scale=1.0, node_limit_factor=1.0)
+
+#: Default reduced size for the benchmark suite.
+BENCH_SCALE = ExperimentScale()
+
+
+def current_scale() -> ExperimentScale:
+    """Resolve the active scale from the environment."""
+    if os.environ.get("REPRO_FULL_SCALE", "").strip() in {"1", "true", "yes"}:
+        return FULL_SCALE
+    scale = BENCH_SCALE
+    job_scale = os.environ.get("REPRO_SCALE")
+    l_factor = os.environ.get("REPRO_L_FACTOR")
+    seed = os.environ.get("REPRO_SEED")
+    return ExperimentScale(
+        job_scale=float(job_scale) if job_scale else scale.job_scale,
+        node_limit_factor=float(l_factor) if l_factor else scale.node_limit_factor,
+        seed=int(seed) if seed else scale.seed,
+    )

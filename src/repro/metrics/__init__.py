@@ -1,0 +1,51 @@
+"""Performance measures used in the paper's evaluation (§4).
+
+- :mod:`repro.metrics.measures` — average/maximum wait, 98th-percentile
+  wait, average bounded slowdown (1-minute floor).
+- :mod:`repro.metrics.excessive` — the normalized excessive-wait family:
+  total / count / average wait in excess of a threshold, with the two
+  reference thresholds (max and 98th-percentile wait of FCFS-backfill in
+  the same month).
+- :mod:`repro.metrics.classes` — per-job-class (N x T) breakdowns behind
+  Figure 5.
+- :mod:`repro.metrics.report` — plain-text rendering of metric series.
+"""
+
+from repro.metrics.measures import (
+    JobMetrics,
+    compute_metrics,
+    wait_percentile,
+)
+from repro.metrics.excessive import (
+    ExcessiveWaitStats,
+    excessive_wait_stats,
+    reference_thresholds,
+)
+from repro.metrics.classes import (
+    NODE_CLASSES,
+    RUNTIME_CLASSES,
+    ClassGrid,
+    avg_wait_grid,
+)
+from repro.metrics.report import format_series, format_grid
+from repro.metrics.timeseries import StateTimeSeries
+from repro.metrics.gantt import describe_schedule, render_gantt, utilization_sparkline
+
+__all__ = [
+    "JobMetrics",
+    "compute_metrics",
+    "wait_percentile",
+    "ExcessiveWaitStats",
+    "excessive_wait_stats",
+    "reference_thresholds",
+    "NODE_CLASSES",
+    "RUNTIME_CLASSES",
+    "ClassGrid",
+    "avg_wait_grid",
+    "format_series",
+    "format_grid",
+    "StateTimeSeries",
+    "describe_schedule",
+    "render_gantt",
+    "utilization_sparkline",
+]

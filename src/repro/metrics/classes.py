@@ -1,0 +1,81 @@
+"""Per-job-class breakdowns (Figure 5).
+
+Jobs are partitioned into a 5x5 grid by actual runtime and requested
+nodes, matching the figure's axes: runtimes up to 10 minutes, 1 hour,
+4 hours, 8 hours, and beyond; node counts 1, 2-8, 9-32, 33-64, 65-128.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.simulator.job import Job
+from repro.util.timeunits import HOUR, MINUTE
+
+#: Actual-runtime classes as half-open intervals (lo, hi] in seconds.
+RUNTIME_CLASSES: tuple[tuple[float, float], ...] = (
+    (0.0, 10 * MINUTE),
+    (10 * MINUTE, HOUR),
+    (HOUR, 4 * HOUR),
+    (4 * HOUR, 8 * HOUR),
+    (8 * HOUR, math.inf),
+)
+
+#: Requested-node classes as inclusive (lo, hi) ranges.
+NODE_CLASSES: tuple[tuple[int, int], ...] = (
+    (1, 1),
+    (2, 8),
+    (9, 32),
+    (33, 64),
+    (65, 128),
+)
+
+RUNTIME_LABELS = ("<=10m", "10m-1h", "1h-4h", "4h-8h", ">8h")
+NODE_LABELS = ("1", "2-8", "9-32", "33-64", "65-128")
+
+
+def runtime_class(runtime: float) -> int:
+    for idx, (lo, hi) in enumerate(RUNTIME_CLASSES):
+        if lo < runtime <= hi:
+            return idx
+    raise ValueError(f"runtime {runtime} not classifiable")
+
+
+def node_class(nodes: int) -> int:
+    for idx, (lo, hi) in enumerate(NODE_CLASSES):
+        if lo <= nodes <= hi:
+            return idx
+    raise ValueError(f"node count {nodes} not classifiable")
+
+
+@dataclass(frozen=True)
+class ClassGrid:
+    """Average wait (hours) and job counts per (runtime, nodes) class.
+
+    ``values[i][j]`` is the average wait of jobs in runtime class ``i`` and
+    node class ``j``; ``NaN`` marks empty cells.
+    """
+
+    values: np.ndarray  # shape (5, 5), hours, NaN for empty cells
+    counts: np.ndarray  # shape (5, 5), int
+
+    def cell(self, runtime_idx: int, node_idx: int) -> float:
+        return float(self.values[runtime_idx, node_idx])
+
+
+def avg_wait_grid(jobs: Sequence[Job]) -> ClassGrid:
+    """Average wait per job class, as plotted in Figure 5."""
+    sums = np.zeros((len(RUNTIME_CLASSES), len(NODE_CLASSES)))
+    counts = np.zeros_like(sums, dtype=int)
+    for job in jobs:
+        i = runtime_class(job.runtime)
+        j = node_class(job.nodes)
+        sums[i, j] += job.wait_time / HOUR
+        counts[i, j] += 1
+    with np.errstate(invalid="ignore"):
+        values = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    return ClassGrid(values=values, counts=counts)

@@ -1,0 +1,69 @@
+"""The normalized excessive-wait measures (paper §4).
+
+The excessive wait of a job w.r.t. a threshold ``t`` is ``max(0, wait - t)``
+— zero for jobs that waited at most ``t``.  The paper evaluates each policy
+against two month-specific thresholds derived from FCFS-backfill in the
+same month: its maximum wait (``E^max_fcfs-bf``) and its 98th-percentile
+wait (``E^98%_fcfs-bf``).  By construction FCFS-backfill has zero total
+excessive wait w.r.t. its own maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.metrics.measures import wait_percentile
+from repro.simulator.job import Job
+from repro.util.timeunits import HOUR
+
+
+@dataclass(frozen=True)
+class ExcessiveWaitStats:
+    """Excessive-wait summary w.r.t. one threshold."""
+
+    threshold_hours: float
+    total_hours: float  # sum of excess over all jobs
+    count: int  # jobs with positive excess
+    avg_hours: float  # average excess among those jobs (0 if none)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "threshold_hours": self.threshold_hours,
+            "total_hours": self.total_hours,
+            "count": self.count,
+            "avg_hours": self.avg_hours,
+        }
+
+
+def excessive_wait_stats(
+    jobs: Sequence[Job], threshold_seconds: float
+) -> ExcessiveWaitStats:
+    """Total / count / average excessive wait w.r.t. ``threshold_seconds``."""
+    if threshold_seconds < 0:
+        raise ValueError("threshold must be >= 0")
+    excesses = [
+        j.wait_time - threshold_seconds
+        for j in jobs
+        if j.wait_time > threshold_seconds
+    ]
+    total = sum(excesses)
+    count = len(excesses)
+    return ExcessiveWaitStats(
+        threshold_hours=threshold_seconds / HOUR,
+        total_hours=total / HOUR,
+        count=count,
+        avg_hours=(total / count / HOUR) if count else 0.0,
+    )
+
+
+def reference_thresholds(reference_jobs: Sequence[Job]) -> tuple[float, float]:
+    """The paper's two thresholds from a reference (FCFS-backfill) run.
+
+    Returns ``(max_wait, p98_wait)`` in **seconds**.
+    """
+    if not reference_jobs:
+        raise ValueError("no reference jobs")
+    max_wait = max(j.wait_time for j in reference_jobs)
+    p98 = wait_percentile(reference_jobs, 98) * HOUR
+    return max_wait, p98

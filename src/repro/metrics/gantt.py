@@ -1,0 +1,115 @@
+"""Text rendering of schedules: Gantt charts and utilization sparklines.
+
+Purely presentational, but indispensable for debugging a scheduling
+policy: a glance at the Gantt shows the hole a backfill slotted into, the
+reservation a search-based schedule protected, or the starvation a bad
+priority function caused.  Everything renders to fixed-width text so it
+works in terminals, logs and doctests alike.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.simulator.job import Job
+from repro.util.timeunits import fmt_duration
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def render_gantt(
+    jobs: Sequence[Job],
+    capacity: int,
+    width: int = 72,
+    window: tuple[float, float] | None = None,
+    label_width: int = 10,
+) -> str:
+    """A row-per-job Gantt chart over the given time window.
+
+    Each row shows the job's queued span (``.``) and running span (``#``);
+    jobs are ordered by start time.  All jobs must have started.
+    """
+    started = [j for j in jobs if j.start_time is not None]
+    if not started:
+        raise ValueError("no started jobs to render")
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    lo = min(j.submit_time for j in started)
+    hi = max(j.end_time or j.start_time for j in started)
+    if window is not None:
+        lo, hi = window
+    if not lo < hi:
+        raise ValueError("empty time window")
+    span = hi - lo
+
+    def col(t: float) -> int:
+        return min(width - 1, max(0, int((t - lo) / span * width)))
+
+    lines = [
+        f"{'job':>{label_width}} |{'-' * width}|  t0={fmt_duration(lo)} "
+        f"span={fmt_duration(span)}"
+    ]
+    for job in sorted(started, key=lambda j: (j.start_time, j.job_id)):
+        row = [" "] * width
+        c_submit = col(job.submit_time)
+        c_start = col(job.start_time)
+        c_end = col(job.end_time if job.end_time is not None else hi)
+        for c in range(c_submit, c_start):
+            row[c] = "."
+        for c in range(c_start, max(c_end, c_start + 1)):
+            row[c] = "#"
+        label = f"{job.job_id}x{job.nodes}"[:label_width]
+        lines.append(f"{label:>{label_width}} |{''.join(row)}|")
+    lines.append(
+        f"{'':>{label_width}}  legend: '.' queued, '#' running "
+        f"(machine: {capacity} nodes)"
+    )
+    return "\n".join(lines)
+
+
+def utilization_sparkline(
+    jobs: Sequence[Job],
+    capacity: int,
+    width: int = 72,
+    window: tuple[float, float] | None = None,
+) -> str:
+    """One-line block-character sparkline of node utilization over time."""
+    started = [j for j in jobs if j.start_time is not None]
+    if not started:
+        raise ValueError("no started jobs to render")
+    lo = min(j.start_time for j in started)
+    hi = max(j.end_time or j.start_time for j in started)
+    if window is not None:
+        lo, hi = window
+    if not lo < hi:
+        raise ValueError("empty time window")
+    step = (hi - lo) / width
+    cells = []
+    for i in range(width):
+        t = lo + (i + 0.5) * step
+        used = sum(
+            j.nodes
+            for j in started
+            if j.start_time <= t < (j.end_time if j.end_time is not None else hi)
+        )
+        level = min(len(_BLOCKS) - 1, round(used / capacity * (len(_BLOCKS) - 1)))
+        cells.append(_BLOCKS[level])
+    return "".join(cells)
+
+
+def describe_schedule(jobs: Sequence[Job], capacity: int) -> str:
+    """Gantt + sparkline + one-line summary, ready to print."""
+    from repro.metrics.measures import compute_metrics
+
+    metrics = compute_metrics([j for j in jobs if j.end_time is not None])
+    parts = [
+        render_gantt(jobs, capacity),
+        "",
+        "util: " + utilization_sparkline(jobs, capacity),
+        (
+            f"{metrics.n_jobs} jobs, avg wait {metrics.avg_wait_hours:.2f} h, "
+            f"max wait {metrics.max_wait_hours:.2f} h, "
+            f"avg bounded slowdown {metrics.avg_bounded_slowdown:.2f}"
+        ),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,62 @@
+"""Plain-text rendering of metric series and class grids.
+
+The benchmark harness prints the same rows/series the paper plots; these
+helpers keep that output aligned and greppable (EXPERIMENTS.md quotes it
+verbatim).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.metrics.classes import NODE_LABELS, RUNTIME_LABELS, ClassGrid
+
+
+def format_series(
+    title: str,
+    row_labels: Sequence[str],
+    columns: Mapping[str, Sequence[float]],
+    fmt: str = "{:.2f}",
+    row_header: str = "month",
+) -> str:
+    """A fixed-width table: one row per label, one column per series.
+
+    ``columns`` maps series name (policy) to its values, one per row label.
+    """
+    for name, values in columns.items():
+        if len(values) != len(row_labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(row_labels)} rows"
+            )
+    names = list(columns)
+    width = max(12, *(len(n) + 2 for n in names)) if names else 12
+    lines = [title]
+    header = f"{row_header:>8}" + "".join(f"{n:>{width}}" for n in names)
+    lines.append(header)
+    for i, label in enumerate(row_labels):
+        cells = []
+        for name in names:
+            v = columns[name][i]
+            cell = "-" if v is None or (isinstance(v, float) and math.isnan(v)) else fmt.format(v)
+            cells.append(f"{cell:>{width}}")
+        lines.append(f"{label:>8}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_grid(title: str, grid: ClassGrid, fmt: str = "{:.1f}") -> str:
+    """Render a Figure-5 class grid (rows: runtime class; cols: nodes)."""
+    lines = [title]
+    header = f"{'runtime':>8}" + "".join(f"{n:>9}" for n in NODE_LABELS)
+    lines.append(header)
+    for i, rlabel in enumerate(RUNTIME_LABELS):
+        cells = []
+        for j in range(len(NODE_LABELS)):
+            v = grid.values[i, j]
+            cell = "-" if np.isnan(v) else fmt.format(v)
+            cells.append(f"{cell:>9}")
+        lines.append(f"{rlabel:>8}" + "".join(cells))
+    return "\n".join(lines)

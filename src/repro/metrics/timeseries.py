@@ -1,0 +1,105 @@
+"""Time-series instrumentation: queue length and node usage over time.
+
+The paper reports time-averaged queue lengths (Figure 4(d)); the raw
+series behind such averages — sampled at every simulation event — are
+often what an operator actually wants to see (when does the backlog build,
+how deep does it get, how does utilization ride through it).  The engine
+records one sample per decision point when asked
+(``Simulation(..., record_timeseries=True)``).
+
+A series is a right-continuous step function: the value at sample ``i``
+holds on ``[times[i], times[i+1])``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class StateTimeSeries:
+    """Sampled simulator state: one row per distinct event time."""
+
+    times: list[float] = field(default_factory=list)
+    queue_lengths: list[int] = field(default_factory=list)
+    used_nodes: list[int] = field(default_factory=list)
+    backlog_node_seconds: list[float] = field(default_factory=list)
+
+    def record(
+        self,
+        time: float,
+        queue_length: int,
+        used_nodes: int,
+        backlog_node_seconds: float,
+    ) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError("samples must be recorded in time order")
+        if self.times and time == self.times[-1]:
+            # Same instant: overwrite with the post-decision state.
+            self.queue_lengths[-1] = queue_length
+            self.used_nodes[-1] = used_nodes
+            self.backlog_node_seconds[-1] = backlog_node_seconds
+            return
+        self.times.append(time)
+        self.queue_lengths.append(queue_length)
+        self.used_nodes.append(used_nodes)
+        self.backlog_node_seconds.append(backlog_node_seconds)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    # ------------------------------------------------------------------
+    def _values(self, name: str) -> np.ndarray:
+        return np.asarray(getattr(self, name), dtype=float)
+
+    def time_average(
+        self, name: str, window: tuple[float, float] | None = None
+    ) -> float:
+        """Time-weighted average of a field over ``window``.
+
+        ``name`` is one of ``queue_lengths``, ``used_nodes``,
+        ``backlog_node_seconds``.
+        """
+        if not self.times:
+            raise ValueError("empty time series")
+        times = np.asarray(self.times, dtype=float)
+        values = self._values(name)
+        lo, hi = window if window is not None else (times[0], times[-1])
+        if not lo < hi:
+            raise ValueError(f"window {window} must satisfy lo < hi")
+        total = 0.0
+        for i in range(len(times)):
+            seg_lo = max(times[i], lo)
+            seg_hi = min(times[i + 1] if i + 1 < len(times) else hi, hi)
+            if seg_hi > seg_lo:
+                total += values[i] * (seg_hi - seg_lo)
+        return total / (hi - lo)
+
+    def peak(self, name: str) -> tuple[float, float]:
+        """``(time, value)`` of the maximum of a field."""
+        if not self.times:
+            raise ValueError("empty time series")
+        values = self._values(name)
+        idx = int(values.argmax())
+        return self.times[idx], float(values[idx])
+
+    def value_at(self, name: str, t: float) -> float:
+        """Step-function value of a field at time ``t``."""
+        if not self.times:
+            raise ValueError("empty time series")
+        times = np.asarray(self.times, dtype=float)
+        idx = int(np.searchsorted(times, t, side="right")) - 1
+        return float(self._values(name)[max(idx, 0)])
+
+    def resample(self, name: str, step: float) -> tuple[np.ndarray, np.ndarray]:
+        """Regular-grid samples ``(grid_times, values)`` with spacing
+        ``step`` across the recorded span (handy for plotting)."""
+        if step <= 0:
+            raise ValueError("step must be > 0")
+        if not self.times:
+            raise ValueError("empty time series")
+        grid = np.arange(self.times[0], self.times[-1] + step / 2, step)
+        values = np.array([self.value_at(name, t) for t in grid])
+        return grid, values

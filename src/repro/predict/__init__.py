@@ -1,0 +1,46 @@
+"""Job-runtime prediction (the paper's first future-work item).
+
+Schedulers plan with a runtime estimate R*.  The paper evaluates the two
+endpoints — perfect knowledge (R* = T) and raw user requests (R* = R) —
+and names "applying job runtime prediction techniques" as future work.
+This package supplies that third option:
+
+- :mod:`repro.predict.source` — the :class:`RuntimeSource` abstraction all
+  policies plan through (actual / requested / predicted);
+- :mod:`repro.predict.predictors` — history-based predictors in the style
+  of Tsafrir-Etsion-Feitelson: per-user recent averages, EWMA, and a
+  safety clamp into ``[floor, R]``.
+
+Predictors learn on-line: the engine's ``on_finish`` hook feeds every
+completion back through the policy's runtime source.
+"""
+
+from repro.predict.source import (
+    ActualRuntimeSource,
+    PredictedRuntimeSource,
+    RequestedRuntimeSource,
+    RuntimeSource,
+    resolve_runtime_source,
+)
+from repro.predict.predictors import (
+    ClampedPredictor,
+    EwmaPredictor,
+    RecentAveragePredictor,
+    RequestedAsPrediction,
+    RuntimePredictor,
+    SafetyMarginPredictor,
+)
+
+__all__ = [
+    "RuntimeSource",
+    "ActualRuntimeSource",
+    "RequestedRuntimeSource",
+    "PredictedRuntimeSource",
+    "resolve_runtime_source",
+    "RuntimePredictor",
+    "RecentAveragePredictor",
+    "EwmaPredictor",
+    "RequestedAsPrediction",
+    "ClampedPredictor",
+    "SafetyMarginPredictor",
+]

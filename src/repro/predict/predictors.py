@@ -1,0 +1,179 @@
+"""History-based runtime predictors.
+
+The design follows the classic observation (Tsafrir, Etsion & Feitelson)
+that a user's recent jobs are the best predictor of the next one's
+runtime: predictors key their history on ``(user, node class)`` and fall
+back first to the user's overall history, then to the job's requested
+runtime when no history exists.
+
+Predictors are deliberately *fallible* — they may under- or over-predict —
+because studying scheduling under imperfect information is the point.
+The :class:`ClampedPredictor` wrapper restores the real-system guarantee
+that no plan exceeds the user's requested runtime.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import defaultdict, deque
+from typing import TYPE_CHECKING
+
+from repro.metrics.classes import node_class
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.job import Job
+
+
+def _user_key(job: "Job") -> str:
+    return job.user if job.user is not None else "<anonymous>"
+
+
+class RuntimePredictor(abc.ABC):
+    """Predicts a job's runtime from previously observed completions."""
+
+    name: str = "predictor"
+
+    @abc.abstractmethod
+    def predict(self, job: "Job") -> float:
+        """Predicted runtime in seconds (> 0)."""
+
+    @abc.abstractmethod
+    def observe(self, job: "Job") -> None:
+        """Learn from a completed job (``job.runtime`` is ground truth)."""
+
+    def reset(self) -> None:
+        """Forget all history."""
+
+
+class RequestedAsPrediction(RuntimePredictor):
+    """Degenerate baseline: predict the user's request (R* = R)."""
+
+    name = "requested"
+
+    def predict(self, job: "Job") -> float:
+        return float(job.requested_runtime)
+
+    def observe(self, job: "Job") -> None:  # nothing to learn
+        pass
+
+
+class RecentAveragePredictor(RuntimePredictor):
+    """Average of the user's last ``k`` completions in the same node class.
+
+    Falls back to the user's last ``k`` completions across classes, then
+    to the requested runtime.  ``k = 2`` reproduces the well-known
+    "average of the last two jobs" rule.
+    """
+
+    def __init__(self, k: int = 2) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.name = f"avg-last-{k}"
+        self._by_class: dict[tuple[str, int], deque] = defaultdict(
+            lambda: deque(maxlen=self.k)
+        )
+        self._by_user: dict[str, deque] = defaultdict(lambda: deque(maxlen=self.k))
+
+    def predict(self, job: "Job") -> float:
+        user = _user_key(job)
+        history = self._by_class.get((user, node_class(job.nodes)))
+        if not history:
+            history = self._by_user.get(user)
+        if not history:
+            return float(job.requested_runtime)
+        return sum(history) / len(history)
+
+    def observe(self, job: "Job") -> None:
+        user = _user_key(job)
+        self._by_class[(user, node_class(job.nodes))].append(job.runtime)
+        self._by_user[user].append(job.runtime)
+
+    def reset(self) -> None:
+        self._by_class.clear()
+        self._by_user.clear()
+
+
+class EwmaPredictor(RuntimePredictor):
+    """Exponentially weighted moving average per user.
+
+    ``alpha`` is the weight of the newest observation.  Smoother than
+    :class:`RecentAveragePredictor` on bursty users.
+    """
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.name = f"ewma-{alpha:g}"
+        self._state: dict[str, float] = {}
+
+    def predict(self, job: "Job") -> float:
+        user = _user_key(job)
+        if user not in self._state:
+            return float(job.requested_runtime)
+        return self._state[user]
+
+    def observe(self, job: "Job") -> None:
+        user = _user_key(job)
+        previous = self._state.get(user)
+        if previous is None:
+            self._state[user] = job.runtime
+        else:
+            self._state[user] = self.alpha * job.runtime + (1 - self.alpha) * previous
+
+    def reset(self) -> None:
+        self._state.clear()
+
+
+class SafetyMarginPredictor(RuntimePredictor):
+    """Scale another predictor's output by a safety factor.
+
+    Raw history-based predictions *under*-predict roughly half the time,
+    and an underprediction is far costlier to a reservation-based
+    scheduler than the equivalent overprediction (the planner promises
+    nodes it will not have).  A multiplicative margin — the standard
+    remedy in the prediction literature — trades a little lost backfill
+    opportunity for reliable plans.
+    """
+
+    def __init__(self, inner: RuntimePredictor, factor: float = 1.5) -> None:
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        self.inner = inner
+        self.factor = factor
+        self.name = f"margin({inner.name},x{factor:g})"
+
+    def predict(self, job: "Job") -> float:
+        return self.inner.predict(job) * self.factor
+
+    def observe(self, job: "Job") -> None:
+        self.inner.observe(job)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+
+class ClampedPredictor(RuntimePredictor):
+    """Clamp another predictor into ``[floor, requested_runtime]``.
+
+    Real systems kill jobs at R, so planning beyond R is never useful;
+    planning below ``floor`` destabilizes profile arithmetic.
+    """
+
+    def __init__(self, inner: RuntimePredictor, floor: float = 60.0) -> None:
+        if floor <= 0:
+            raise ValueError("floor must be > 0")
+        self.inner = inner
+        self.floor = floor
+        self.name = f"clamped({inner.name})"
+
+    def predict(self, job: "Job") -> float:
+        raw = self.inner.predict(job)
+        return min(max(raw, self.floor), float(job.requested_runtime))
+
+    def observe(self, job: "Job") -> None:
+        self.inner.observe(job)
+
+    def reset(self) -> None:
+        self.inner.reset()

@@ -1,0 +1,133 @@
+"""The runtime a scheduler *plans* with (the paper's R*).
+
+Every policy resolves job runtimes through a :class:`RuntimeSource`:
+
+- ``ActualRuntimeSource`` — R* = T, the paper's main configuration;
+- ``RequestedRuntimeSource`` — R* = R, the paper's §6.4 configuration;
+- ``PredictedRuntimeSource`` — R* = prediction, the future-work option,
+  wrapping any :class:`~repro.predict.predictors.RuntimePredictor`.
+
+A source may be *optimistic* (predicting less than the job actually runs);
+the simulator stays sound because nothing is preempted — a misprediction
+only distorts the planner's view, exactly as on a real system.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.util.timeunits import MINUTE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.predict.predictors import RuntimePredictor
+    from repro.simulator.job import Job
+
+
+class RuntimeSource(abc.ABC):
+    """Resolves the scheduler-visible runtime of a job."""
+
+    #: Short label used in policy names, e.g. ``"T"``, ``"R"``, ``"pred"``.
+    label: str = "?"
+
+    #: Whether the source equals the actual runtime (lets the engine take
+    #: the exact-release fast path).
+    is_actual: bool = False
+
+    @abc.abstractmethod
+    def of(self, job: "Job") -> float:
+        """The planning runtime for ``job`` (seconds, > 0)."""
+
+    def observe_completion(self, job: "Job", now: float) -> None:
+        """Hook: a job completed (predictors learn here).  Default no-op."""
+
+    def believed_release(self, job: "Job", now: float) -> float:
+        """When the scheduler believes a *running* job's nodes come back.
+
+        Default: start + planning runtime.  Sources whose estimate a job
+        can outlive (predictors) override this to revise upward once the
+        job has run past its estimate.
+        """
+        assert job.start_time is not None
+        return job.start_time + self.of(job)
+
+    def reset(self) -> None:
+        """Clear learned state between simulation runs.  Default no-op."""
+
+
+class ActualRuntimeSource(RuntimeSource):
+    """Perfect information: R* = T."""
+
+    label = "T"
+    is_actual = True
+
+    def of(self, job: "Job") -> float:
+        return job.runtime
+
+
+class RequestedRuntimeSource(RuntimeSource):
+    """User estimates: R* = R."""
+
+    label = "R"
+
+    def of(self, job: "Job") -> float:
+        return float(job.requested_runtime)
+
+
+class PredictedRuntimeSource(RuntimeSource):
+    """History-based prediction: R* = predictor(job).
+
+    Predictions are floored at one minute (a zero or negative planning
+    runtime would break profile reservations) and learn from completions.
+    """
+
+    label = "pred"
+
+    def __init__(self, predictor: "RuntimePredictor", floor: float = MINUTE) -> None:
+        if floor <= 0:
+            raise ValueError("floor must be > 0")
+        self.predictor = predictor
+        self.floor = floor
+
+    def of(self, job: "Job") -> float:
+        return max(self.predictor.predict(job), self.floor)
+
+    def believed_release(self, job: "Job", now: float) -> float:
+        """Revise the estimate upward once the job outlives it.
+
+        Doubling until the believed release is in the future (capped at the
+        requested runtime, which the machine enforces) is the standard
+        correction for underprediction: without it an exceeded estimate
+        reads as "done any moment", which parks the backfill reservation
+        on the whole machine and starves backfilling.
+        """
+        assert job.start_time is not None
+        estimate = self.of(job)
+        cap = float(job.requested_runtime)
+        while job.start_time + estimate <= now and estimate < cap:
+            estimate = min(estimate * 2.0, cap)
+        return job.start_time + estimate
+
+    def observe_completion(self, job: "Job", now: float) -> None:
+        self.predictor.observe(job)
+
+    def reset(self) -> None:
+        self.predictor.reset()
+
+
+def resolve_runtime_source(
+    source: RuntimeSource | bool | str | None,
+) -> RuntimeSource:
+    """Coerce the common spellings into a :class:`RuntimeSource`.
+
+    ``True``/``"actual"``/``None`` → actual runtimes (the paper default);
+    ``False``/``"requested"`` → user estimates; a :class:`RuntimeSource`
+    passes through.
+    """
+    if source is None or source is True or source == "actual":
+        return ActualRuntimeSource()
+    if source is False or source == "requested":
+        return RequestedRuntimeSource()
+    if isinstance(source, RuntimeSource):
+        return source
+    raise ValueError(f"cannot interpret runtime source {source!r}")

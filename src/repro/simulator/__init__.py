@@ -1,0 +1,32 @@
+"""Event-driven simulator for non-preemptive space-shared parallel machines.
+
+This package is the substrate on which every scheduling policy in the
+library runs: a machine model (:mod:`repro.simulator.cluster`), a job model
+(:mod:`repro.simulator.job`), an event queue (:mod:`repro.simulator.events`)
+and the engine that ties them together (:mod:`repro.simulator.engine`).
+
+Scheduling decisions are made at every job arrival and departure, exactly as
+in the paper (Section 2): the policy is handed the current waiting queue and
+the set of running jobs and returns the jobs to start *now*.
+"""
+
+from repro.simulator.job import Job, JobState
+from repro.simulator.cluster import Cluster, ClusterConfig, JobLimits
+from repro.simulator.events import Event, EventKind, EventQueue
+from repro.simulator.engine import Simulation, SimulationResult
+from repro.simulator.policy import SchedulingPolicy, RunningJob
+
+__all__ = [
+    "Job",
+    "JobState",
+    "Cluster",
+    "ClusterConfig",
+    "JobLimits",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "Simulation",
+    "SimulationResult",
+    "SchedulingPolicy",
+    "RunningJob",
+]

@@ -1,0 +1,223 @@
+"""The event-driven simulation engine.
+
+Drives a :class:`~repro.simulator.policy.SchedulingPolicy` over a workload on
+a :class:`~repro.simulator.cluster.Cluster`: arrivals and completions are the
+only events; after the state update at each distinct event time the policy is
+consulted once and the jobs it returns are started.
+
+The engine also accumulates the time-integrals the evaluation needs (average
+queue length, utilization) restricted to a measurement window, which is how
+the paper excludes the warm-up/cool-down weeks from each month's statistics.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.metrics.timeseries import StateTimeSeries
+from repro.simulator.cluster import Cluster, ClusterConfig
+from repro.simulator.events import EventKind, EventQueue
+from repro.simulator.job import Job, JobState
+from repro.simulator.policy import RunningJob, SchedulingPolicy
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produces.
+
+    ``jobs`` contains *all* completed jobs (including warm-up/cool-down);
+    metrics code filters on the window itself so different windows can be
+    evaluated from one run.
+    """
+
+    jobs: list[Job]
+    window: tuple[float, float]
+    avg_queue_length: float
+    utilization: float
+    decision_count: int
+    sim_end_time: float
+    wall_seconds: float
+    policy_name: str
+    extra: dict = field(default_factory=dict)
+    #: Per-event state samples; ``None`` unless the simulation was created
+    #: with ``record_timeseries=True``.
+    timeseries: "StateTimeSeries | None" = None
+
+    def jobs_in_window(self) -> list[Job]:
+        """Jobs submitted inside the measurement window."""
+        lo, hi = self.window
+        return [j for j in self.jobs if lo <= j.submit_time < hi]
+
+
+class Simulation:
+    """One simulation run.
+
+    Parameters
+    ----------
+    jobs:
+        The workload.  Jobs must satisfy the cluster's admission limits.
+    policy:
+        The scheduling policy under test.
+    cluster_config:
+        Machine description; defaults to the 128-node Titan configuration.
+    window:
+        ``(lo, hi)`` measurement window for time-averaged statistics.
+        Defaults to the full span of the workload.
+    """
+
+    def __init__(
+        self,
+        jobs: Iterable[Job],
+        policy: SchedulingPolicy,
+        cluster_config: ClusterConfig | None = None,
+        window: tuple[float, float] | None = None,
+        record_timeseries: bool = False,
+    ) -> None:
+        self.jobs = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        if not self.jobs:
+            raise ValueError("cannot simulate an empty workload")
+        ids = [j.job_id for j in self.jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate job ids in workload")
+        self.policy = policy
+        self.cluster = Cluster(cluster_config)
+        for job in self.jobs:
+            if not self.cluster.admits(job):
+                raise ValueError(
+                    f"job {job.job_id} (N={job.nodes}, "
+                    f"R={job.requested_runtime}) violates cluster limits"
+                )
+        if window is None:
+            window = (self.jobs[0].submit_time, self.jobs[-1].submit_time + 1.0)
+        self.window = window
+        self.record_timeseries = record_timeseries
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Run to completion of every job and return the results."""
+        wall_start = _wallclock.perf_counter()
+        self.policy.reset()
+        self.policy.runtime_source.reset()
+
+        events = EventQueue()
+        for job in self.jobs:
+            job.state = JobState.PENDING
+            job.start_time = None
+            job.end_time = None
+            events.push(job.submit_time, EventKind.ARRIVAL, job)
+
+        waiting: list[Job] = []
+        completed: list[Job] = []
+        timeseries = StateTimeSeries() if self.record_timeseries else None
+        decision_count = 0
+        queue_integral = 0.0
+        busy_integral = 0.0
+        prev_time = events.peek_time() or 0.0
+        win_lo, win_hi = self.window
+
+        while events:
+            batch = events.pop_simultaneous()
+            now = batch[0].time
+
+            # Accumulate time-weighted statistics over [prev_time, now),
+            # clipped to the measurement window.
+            overlap = min(now, win_hi) - max(prev_time, win_lo)
+            if overlap > 0:
+                queue_integral += len(waiting) * overlap
+                busy_integral += self.cluster.used_nodes * overlap
+            prev_time = now
+
+            # State update: completions release nodes before arrivals are
+            # queued, mirroring the deterministic tie-break of the queue.
+            batch.sort(key=lambda e: (e.kind is not EventKind.FINISH, e.seq))
+            for event in batch:
+                job = event.payload
+                if event.kind is EventKind.FINISH:
+                    self.cluster.finish(job, now)
+                    completed.append(job)
+                    # Learning runtime sources (predictors) observe every
+                    # completion before the policy's own hook runs.
+                    self.policy.runtime_source.observe_completion(job, now)
+                    self.policy.on_finish(job, now)
+                else:
+                    job.state = JobState.WAITING
+                    waiting.append(job)
+
+            # One scheduling decision per distinct event time.
+            decision_count += 1
+            running_view = self._running_view(now)
+            to_start = self.policy.decide(now, tuple(waiting), running_view, self.cluster)
+            self._start_jobs(to_start, waiting, events, now)
+
+            if timeseries is not None:
+                backlog = sum(j.nodes * j.runtime for j in waiting)
+                timeseries.record(
+                    now, len(waiting), self.cluster.used_nodes, backlog
+                )
+
+        window_span = max(win_hi - win_lo, 1e-12)
+        result = SimulationResult(
+            jobs=completed,
+            window=self.window,
+            avg_queue_length=queue_integral / window_span,
+            utilization=busy_integral / (window_span * self.cluster.capacity),
+            decision_count=decision_count,
+            sim_end_time=prev_time,
+            wall_seconds=_wallclock.perf_counter() - wall_start,
+            policy_name=self.policy.name,
+            extra=dict(getattr(self.policy, "stats", {}) or {}),
+            timeseries=timeseries,
+        )
+        if len(completed) != len(self.jobs):
+            raise AssertionError(
+                f"simulation ended with {len(self.jobs) - len(completed)} "
+                "unfinished jobs (policy starvation or engine bug)"
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    def _running_view(self, now: float) -> tuple[RunningJob, ...]:
+        """Build the policy's view of running jobs with believed releases."""
+        source = self.policy.runtime_source
+        views = []
+        for job in self.cluster.running_jobs:
+            assert job.start_time is not None and job.end_time is not None
+            if source.is_actual:
+                release = job.end_time
+            else:
+                release = source.believed_release(job, now)
+            # An over-estimating source (R >= T) always yields a future
+            # release.  An optimistic predictor can believe the release is
+            # already past; the job is nonetheless still occupying its
+            # nodes *right now*, so clamp the belief to "imminently" —
+            # strictly after now — or the planner would hand those nodes
+            # to someone else this instant.
+            views.append(
+                RunningJob(job=job, release_time=max(release, now + 1.0))
+            )
+        views.sort(key=lambda r: (r.release_time, r.job.job_id))
+        return tuple(views)
+
+    def _start_jobs(
+        self,
+        to_start: Sequence[Job],
+        waiting: list[Job],
+        events: EventQueue,
+        now: float,
+    ) -> None:
+        """Validate and start the policy's chosen jobs."""
+        seen: set[int] = set()
+        for job in to_start:
+            if job.job_id in seen:
+                raise ValueError(f"policy returned job {job.job_id} twice")
+            seen.add(job.job_id)
+            if job.state is not JobState.WAITING:
+                raise ValueError(
+                    f"policy returned job {job.job_id} in state {job.state}"
+                )
+            end = self.cluster.start(job, now)  # raises if over capacity
+            waiting.remove(job)
+            events.push(end, EventKind.FINISH, job)
+            self.policy.on_start(job, now)

@@ -1,0 +1,75 @@
+"""Event queue for the discrete-event simulator.
+
+Only two event kinds exist in this system — job arrival and job completion —
+because the policies are non-preemptive and make decisions only at those
+points (paper Section 2).  Ties are broken by a monotone sequence number so
+runs are fully deterministic: simultaneous events fire in insertion order,
+with completions inserted before the arrivals they unblock.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class EventKind(enum.Enum):
+    ARRIVAL = "arrival"
+    FINISH = "finish"
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulator event, ordered by (time, seq)."""
+
+    time: float
+    seq: int
+    kind: EventKind = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event`."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event; returns it (useful for assertions in tests).
+
+        Causality (no events scheduled before the simulation clock) is
+        enforced by the engine, which knows ``now``; the queue itself only
+        guarantees deterministic ordering.
+        """
+        event = Event(time=time, seq=next(self._counter), kind=kind, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float | None:
+        """Time of the next event, or ``None`` if the queue is empty."""
+        return self._heap[0].time if self._heap else None
+
+    def pop_simultaneous(self, eps: float = 1e-9) -> list[Event]:
+        """Pop every event sharing the earliest timestamp (within ``eps``)."""
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        first = heapq.heappop(self._heap)
+        batch = [first]
+        while self._heap and abs(self._heap[0].time - first.time) <= eps:
+            batch.append(heapq.heappop(self._heap))
+        return batch
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

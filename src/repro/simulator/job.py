@@ -1,0 +1,137 @@
+"""Job model.
+
+A job is submitted with a requested number of nodes ``N`` and a requested
+runtime ``R``; it actually runs for ``T`` (its *actual* runtime).  Schedulers
+see either ``T`` or ``R`` depending on the experiment (the paper's ``R* = T``
+vs ``R* = R``, Section 6.4); the simulator always uses ``T`` to fire the
+completion event.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.timeunits import MINUTE
+from repro.util.validation import check_non_negative, check_positive
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a non-preemptive job."""
+
+    PENDING = "pending"  # created, not yet submitted to the simulator
+    WAITING = "waiting"  # in the queue
+    RUNNING = "running"
+    COMPLETED = "completed"
+
+
+@dataclass(eq=False)
+class Job:
+    """A rigid parallel job.
+
+    Jobs are *entities*: equality and hashing are by identity, so the same
+    logical job re-created for another simulation run is a distinct object.
+
+    Parameters
+    ----------
+    job_id:
+        Unique identifier within one workload.
+    submit_time:
+        Arrival time (seconds).
+    nodes:
+        Requested number of nodes ``N`` (a node is the allocation unit).
+    runtime:
+        Actual runtime ``T`` in seconds.
+    requested_runtime:
+        User-requested runtime ``R`` in seconds.  Defaults to ``runtime``
+        (a perfectly accurate user).
+    """
+
+    job_id: int
+    submit_time: float
+    nodes: int
+    runtime: float
+    requested_runtime: float | None = None
+    #: Owning user (for fairshare objectives and runtime prediction);
+    #: ``None`` for traces without user information.
+    user: str | None = None
+
+    state: JobState = field(default=JobState.PENDING, compare=False)
+    start_time: float | None = field(default=None, compare=False)
+    end_time: float | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        check_non_negative("submit_time", self.submit_time)
+        check_positive("nodes", self.nodes)
+        check_positive("runtime", self.runtime)
+        if self.requested_runtime is None:
+            self.requested_runtime = self.runtime
+        if self.requested_runtime < self.runtime and not _ALLOW_UNDERESTIMATE:
+            # Real systems kill jobs at the requested-runtime limit; traces
+            # therefore have R >= T.  The SWF parser clamps; synthetic
+            # generation guarantees it.
+            raise ValueError(
+                f"job {self.job_id}: requested_runtime {self.requested_runtime} "
+                f"< runtime {self.runtime}"
+            )
+
+    # ------------------------------------------------------------------
+    # Scheduler-visible runtime
+    # ------------------------------------------------------------------
+    def scheduler_runtime(self, use_actual: bool) -> float:
+        """The runtime estimate the scheduler plans with (paper's ``R*``)."""
+        return self.runtime if use_actual else float(self.requested_runtime)
+
+    # ------------------------------------------------------------------
+    # Derived performance measures (valid once the job has started)
+    # ------------------------------------------------------------------
+    @property
+    def wait_time(self) -> float:
+        """Queueing delay: start - submit."""
+        if self.start_time is None:
+            raise ValueError(f"job {self.job_id} has not started")
+        return self.start_time - self.submit_time
+
+    @property
+    def turnaround_time(self) -> float:
+        """Submit-to-completion time."""
+        if self.end_time is None:
+            raise ValueError(f"job {self.job_id} has not completed")
+        return self.end_time - self.submit_time
+
+    def current_wait(self, now: float) -> float:
+        """Wait accumulated so far for a queued job."""
+        return max(0.0, now - self.submit_time)
+
+    def bounded_slowdown(self, floor: float = MINUTE) -> float:
+        """Bounded slowdown with a runtime floor (paper uses 1 minute).
+
+        ``(wait + max(T, floor)) / max(T, floor)`` — for jobs shorter than
+        the floor this is ``1 + wait/floor`` (e.g. ``1 +`` wait in minutes),
+        matching the paper's definition; for longer jobs it is the ordinary
+        slowdown ``turnaround / T``.
+        """
+        denom = max(self.runtime, floor)
+        return (self.wait_time + denom) / denom
+
+    def slowdown_if_started_at(self, t: float, floor: float = MINUTE) -> float:
+        """Bounded slowdown this job would have if started at time ``t``."""
+        denom = max(self.runtime, floor)
+        return (max(0.0, t - self.submit_time) + denom) / denom
+
+    @property
+    def area(self) -> float:
+        """Processor demand ``N x T`` in node-seconds."""
+        return self.nodes * self.runtime
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Job(id={self.job_id}, submit={self.submit_time:.0f}, "
+            f"N={self.nodes}, T={self.runtime:.0f}, R={self.requested_runtime:.0f}, "
+            f"state={self.state.value})"
+        )
+
+
+# Escape hatch used only by tests that deliberately construct inconsistent
+# jobs (e.g. to exercise SWF clamping).
+_ALLOW_UNDERESTIMATE = False

@@ -1,0 +1,42 @@
+"""Shared utilities: time units, validation helpers, seeded RNG streams."""
+
+from repro.util.timeunits import (
+    SECOND,
+    MINUTE,
+    HOUR,
+    DAY,
+    WEEK,
+    hours,
+    minutes,
+    days,
+    to_hours,
+    to_minutes,
+    fmt_duration,
+)
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_type,
+)
+from repro.util.rng import RngStream, spawn_streams
+
+__all__ = [
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "hours",
+    "minutes",
+    "days",
+    "to_hours",
+    "to_minutes",
+    "fmt_duration",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+    "RngStream",
+    "spawn_streams",
+]

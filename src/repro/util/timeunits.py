@@ -1,0 +1,66 @@
+"""Time-unit constants and conversion helpers.
+
+All simulation times in this library are expressed in **seconds** as plain
+floats (or ints).  These helpers exist so that calling code can say
+``hours(12)`` instead of sprinkling ``12 * 3600`` literals around, and so that
+reports can render durations in the units the paper uses (hours).
+"""
+
+from __future__ import annotations
+
+SECOND: float = 1.0
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 24 * HOUR
+WEEK: float = 7 * DAY
+
+
+def hours(x: float) -> float:
+    """Convert a duration in hours to seconds."""
+    return x * HOUR
+
+
+def minutes(x: float) -> float:
+    """Convert a duration in minutes to seconds."""
+    return x * MINUTE
+
+
+def days(x: float) -> float:
+    """Convert a duration in days to seconds."""
+    return x * DAY
+
+
+def to_hours(seconds: float) -> float:
+    """Convert a duration in seconds to hours."""
+    return seconds / HOUR
+
+
+def to_minutes(seconds: float) -> float:
+    """Convert a duration in seconds to minutes."""
+    return seconds / MINUTE
+
+
+def fmt_duration(seconds: float) -> str:
+    """Render a duration in seconds as a compact human-readable string.
+
+    >>> fmt_duration(90)
+    '1m30s'
+    >>> fmt_duration(3600 * 5.5)
+    '5h30m'
+    """
+    if seconds < 0:
+        return "-" + fmt_duration(-seconds)
+    s = int(round(seconds))
+    d, s = divmod(s, int(DAY))
+    h, s = divmod(s, int(HOUR))
+    m, s = divmod(s, int(MINUTE))
+    parts: list[str] = []
+    if d:
+        parts.append(f"{d}d")
+    if h:
+        parts.append(f"{h}h")
+    if m:
+        parts.append(f"{m}m")
+    if s or not parts:
+        parts.append(f"{s}s")
+    return "".join(parts[:2])

@@ -1,0 +1,69 @@
+"""Workloads: the NCSA IA-64 synthetic generator, SWF trace I/O, load
+scaling and requested-runtime models.
+
+The paper evaluates on ten monthly traces from NCSA's IA-64 Linux cluster
+(June 2003 - March 2004).  Those traces are not distributable, so
+:mod:`repro.workloads.synthetic` generates statistically equivalent months
+from the paper's own published workload tables (Tables 3 and 4), which is
+the substitution documented in DESIGN.md.  Real traces in Standard Workload
+Format can be substituted via :mod:`repro.workloads.swf`.
+"""
+
+from repro.workloads.trace import Workload
+from repro.workloads.calibration import (
+    MONTHS,
+    MONTH_ORDER,
+    MonthCalibration,
+    NODE_GROUPS,
+    NODE_RANGES,
+    group_of_nodes,
+    range_of_nodes,
+)
+from repro.workloads.synthetic import SyntheticMonthGenerator, generate_month
+from repro.workloads.mixes import make_calibration, scaled_mix, uniform_calibration
+from repro.workloads.scaling import scale_to_load
+from repro.workloads.estimates import (
+    AccurateEstimates,
+    MenuEstimates,
+    UniformFactorEstimates,
+    apply_estimates,
+)
+from repro.workloads.swf import read_swf, read_swf_string, write_swf
+from repro.workloads.stats import (
+    JobMixTable,
+    RuntimeTable,
+    format_job_mix,
+    format_runtime_table,
+    job_mix_table,
+    runtime_table,
+)
+
+__all__ = [
+    "Workload",
+    "MonthCalibration",
+    "MONTHS",
+    "MONTH_ORDER",
+    "NODE_RANGES",
+    "NODE_GROUPS",
+    "range_of_nodes",
+    "group_of_nodes",
+    "SyntheticMonthGenerator",
+    "generate_month",
+    "make_calibration",
+    "scaled_mix",
+    "uniform_calibration",
+    "scale_to_load",
+    "AccurateEstimates",
+    "UniformFactorEstimates",
+    "MenuEstimates",
+    "apply_estimates",
+    "read_swf",
+    "read_swf_string",
+    "write_swf",
+    "JobMixTable",
+    "RuntimeTable",
+    "job_mix_table",
+    "runtime_table",
+    "format_job_mix",
+    "format_runtime_table",
+]

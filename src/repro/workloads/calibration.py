@@ -1,0 +1,253 @@
+"""Calibration data for the NCSA IA-64 monthly workloads.
+
+These numbers are transcribed directly from the paper:
+
+- Table 2 — capacity (128 nodes) and per-period runtime limits;
+- Table 3 — per month: total jobs, offered load, and the fraction of jobs
+  and of processor demand in each requested-node range;
+- Table 4 — per month: the fraction of *all* jobs that fall in each
+  (node-group, runtime-bucket) cell, for the buckets T <= 1 h and T > 5 h.
+
+The synthetic generator treats them as the ground truth distributions it
+must hit; Tables 3 and 4 are then *reproduced from the generated traces* by
+``benchmarks/bench_table3.py`` and ``bench_table4.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.cluster import (
+    TITAN_LIMITS_12H,
+    TITAN_LIMITS_24H,
+    ClusterConfig,
+    JobLimits,
+)
+
+#: Requested-node ranges of Table 3, as inclusive (lo, hi) pairs.
+NODE_RANGES: tuple[tuple[int, int], ...] = (
+    (1, 1),
+    (2, 2),
+    (3, 4),
+    (5, 8),
+    (9, 16),
+    (17, 32),
+    (33, 64),
+    (65, 128),
+)
+
+#: Requested-node groups of Table 4 (coarser than Table 3's ranges).
+NODE_GROUPS: tuple[tuple[int, int], ...] = (
+    (1, 1),
+    (2, 2),
+    (3, 8),
+    (9, 32),
+    (33, 128),
+)
+
+#: Table-3 range index -> Table-4 group index.
+RANGE_TO_GROUP: tuple[int, ...] = (0, 1, 2, 2, 3, 3, 4, 4)
+
+
+def range_of_nodes(nodes: int) -> int:
+    """Index of the Table-3 node range containing ``nodes``."""
+    for idx, (lo, hi) in enumerate(NODE_RANGES):
+        if lo <= nodes <= hi:
+            return idx
+    raise ValueError(f"node count {nodes} outside every range")
+
+
+def group_of_nodes(nodes: int) -> int:
+    """Index of the Table-4 node group containing ``nodes``."""
+    for idx, (lo, hi) in enumerate(NODE_GROUPS):
+        if lo <= nodes <= hi:
+            return idx
+    raise ValueError(f"node count {nodes} outside every group")
+
+
+@dataclass(frozen=True)
+class MonthCalibration:
+    """Published statistics of one monthly NCSA IA-64 workload."""
+
+    name: str  # e.g. "2003-07"
+    label: str  # the paper's axis label, e.g. "7/03"
+    total_jobs: int
+    load: float  # offered load (fraction of capacity over the month)
+    jobs_frac: tuple[float, ...]  # per NODE_RANGES, sums ~1
+    demand_frac: tuple[float, ...]  # per NODE_RANGES, sums ~1
+    short_frac: tuple[float, ...]  # per NODE_GROUPS: P(T <= 1h and group)
+    long_frac: tuple[float, ...]  # per NODE_GROUPS: P(T > 5h and group)
+    limits: JobLimits = TITAN_LIMITS_24H
+
+    def __post_init__(self) -> None:
+        for field_name in ("jobs_frac", "demand_frac"):
+            values = getattr(self, field_name)
+            if len(values) != len(NODE_RANGES):
+                raise ValueError(f"{field_name} must have {len(NODE_RANGES)} entries")
+            total = sum(values)
+            if not 0.97 <= total <= 1.03:
+                raise ValueError(f"{field_name} sums to {total:.3f}, expected ~1")
+        for field_name in ("short_frac", "long_frac"):
+            values = getattr(self, field_name)
+            if len(values) != len(NODE_GROUPS):
+                raise ValueError(f"{field_name} must have {len(NODE_GROUPS)} entries")
+        if not 0 < self.load <= 1:
+            raise ValueError(f"load must be in (0, 1], got {self.load}")
+
+    @property
+    def cluster(self) -> ClusterConfig:
+        return ClusterConfig(nodes=128, limits=self.limits)
+
+    def jobs_frac_by_group(self) -> tuple[float, ...]:
+        """Table-3 job fractions aggregated to Table-4 groups."""
+        sums = [0.0] * len(NODE_GROUPS)
+        for r, frac in enumerate(self.jobs_frac):
+            sums[RANGE_TO_GROUP[r]] += frac
+        return tuple(sums)
+
+    def bucket_probs_by_group(self) -> list[tuple[float, float, float]]:
+        """Per group: (P(short | group), P(mid | group), P(long | group)).
+
+        Derived as Table-4 joint fractions divided by the group's job
+        fraction from Table 3; clamped and renormalized since the two
+        tables were published rounded to one decimal.
+        """
+        by_group = self.jobs_frac_by_group()
+        probs: list[tuple[float, float, float]] = []
+        for g, total in enumerate(by_group):
+            if total <= 0:
+                probs.append((0.34, 0.33, 0.33))
+                continue
+            p_short = min(max(self.short_frac[g] / total, 0.0), 1.0)
+            p_long = min(max(self.long_frac[g] / total, 0.0), 1.0)
+            if p_short + p_long > 1.0:
+                norm = p_short + p_long
+                p_short, p_long = p_short / norm, p_long / norm
+            probs.append((p_short, 1.0 - p_short - p_long, p_long))
+        return probs
+
+
+def _pct(*values: float) -> tuple[float, ...]:
+    return tuple(v / 100.0 for v in values)
+
+
+# ----------------------------------------------------------------------
+# Table 3 + Table 4, one entry per month.  The asterisked outliers the
+# paper highlights (7/03 demand dominated by 65-128-node jobs; 1/04 long
+# 1-node jobs and wide-short jobs) are in the numbers themselves.
+# ----------------------------------------------------------------------
+MONTHS: dict[str, MonthCalibration] = {
+    "2003-06": MonthCalibration(
+        name="2003-06",
+        label="6/03",
+        total_jobs=2191,
+        load=0.82,
+        jobs_frac=_pct(26.7, 11.3, 29.8, 6.3, 8.5, 10.5, 3.7, 2.4),
+        demand_frac=_pct(0.3, 0.1, 1.3, 1.1, 23.0, 37.4, 21.7, 14.6),
+        short_frac=_pct(24.9, 11.1, 34.7, 6.2, 3.0),
+        long_frac=_pct(0.3, 0.0, 0.7, 7.0, 1.7),
+        limits=TITAN_LIMITS_12H,
+    ),
+    "2003-07": MonthCalibration(
+        name="2003-07",
+        label="7/03",
+        total_jobs=1399,
+        load=0.89,
+        jobs_frac=_pct(26.2, 9.1, 6.9, 18.4, 7.9, 13.2, 8.4, 8.5),
+        demand_frac=_pct(0.5, 0.2, 0.4, 3.6, 6.7, 16.9, 21.3, 49.7),
+        short_frac=_pct(20.9, 7.7, 18.5, 13.4, 9.4),
+        long_frac=_pct(2.4, 0.4, 3.0, 5.0, 4.6),
+        limits=TITAN_LIMITS_12H,
+    ),
+    "2003-08": MonthCalibration(
+        name="2003-08",
+        label="8/03",
+        total_jobs=3220,
+        load=0.79,
+        jobs_frac=_pct(74.6, 5.4, 1.3, 4.9, 4.9, 4.6, 1.8, 2.1),
+        demand_frac=_pct(1.7, 0.7, 0.1, 3.5, 9.6, 30.8, 17.9, 35.5),
+        short_frac=_pct(68.8, 4.3, 4.7, 4.6, 1.8),
+        long_frac=_pct(2.5, 0.7, 1.0, 3.5, 1.4),
+        limits=TITAN_LIMITS_12H,
+    ),
+    "2003-09": MonthCalibration(
+        name="2003-09",
+        label="9/03",
+        total_jobs=3056,
+        load=0.72,
+        jobs_frac=_pct(58.0, 10.4, 6.4, 5.8, 6.6, 8.4, 1.1, 2.9),
+        demand_frac=_pct(3.1, 0.5, 0.5, 4.3, 8.8, 35.4, 12.4, 34.6),
+        short_frac=_pct(42.6, 9.8, 9.9, 10.9, 2.4),
+        long_frac=_pct(3.9, 0.4, 1.3, 2.9, 1.2),
+        limits=TITAN_LIMITS_12H,
+    ),
+    "2003-10": MonthCalibration(
+        name="2003-10",
+        label="10/03",
+        total_jobs=4149,
+        load=0.71,
+        jobs_frac=_pct(53.8, 20.5, 5.8, 8.8, 5.5, 3.6, 1.6, 0.3),
+        demand_frac=_pct(4.7, 6.6, 1.6, 10.1, 17.3, 25.3, 24.1, 10.2),
+        short_frac=_pct(37.5, 8.3, 10.1, 4.9, 0.7),
+        long_frac=_pct(4.1, 3.1, 2.1, 3.3, 0.8),
+        limits=TITAN_LIMITS_12H,
+    ),
+    "2003-11": MonthCalibration(
+        name="2003-11",
+        label="11/03",
+        total_jobs=3446,
+        load=0.73,
+        jobs_frac=_pct(60.1, 17.4, 4.9, 5.3, 3.6, 4.1, 3.7, 0.8),
+        demand_frac=_pct(8.0, 3.7, 0.9, 4.4, 11.6, 11.1, 37.0, 23.3),
+        short_frac=_pct(33.7, 12.5, 6.8, 5.1, 2.1),
+        long_frac=_pct(8.7, 4.4, 1.4, 1.9, 1.6),
+        limits=TITAN_LIMITS_12H,
+    ),
+    "2003-12": MonthCalibration(
+        name="2003-12",
+        label="12/03",
+        total_jobs=3517,
+        load=0.74,
+        jobs_frac=_pct(64.1, 12.5, 6.8, 3.5, 3.7, 5.9, 2.7, 0.9),
+        demand_frac=_pct(11.0, 5.1, 7.6, 2.1, 9.5, 18.9, 39.7, 6.1),
+        short_frac=_pct(36.0, 6.5, 6.2, 7.0, 1.7),
+        long_frac=_pct(14.0, 4.4, 2.7, 1.7, 1.0),
+        limits=TITAN_LIMITS_24H,
+    ),
+    "2004-01": MonthCalibration(
+        name="2004-01",
+        label="1/04",
+        total_jobs=3154,
+        load=0.73,
+        jobs_frac=_pct(39.0, 18.3, 8.0, 4.6, 9.2, 18.1, 1.7, 1.2),
+        demand_frac=_pct(12.0, 8.8, 5.3, 3.7, 17.3, 17.9, 17.1, 18.0),
+        short_frac=_pct(12.9, 6.0, 7.1, 20.5, 1.9),
+        long_frac=_pct(23.1, 5.0, 2.4, 1.5, 0.7),
+        limits=TITAN_LIMITS_24H,
+    ),
+    "2004-02": MonthCalibration(
+        name="2004-02",
+        label="2/04",
+        total_jobs=3969,
+        load=0.74,
+        jobs_frac=_pct(44.1, 31.8, 10.0, 4.5, 4.6, 2.5, 1.7, 0.8),
+        demand_frac=_pct(7.7, 9.9, 11.7, 7.0, 18.8, 20.3, 8.1, 16.4),
+        short_frac=_pct(34.1, 20.5, 9.9, 4.6, 1.9),
+        long_frac=_pct(6.8, 3.6, 3.3, 1.7, 0.3),
+        limits=TITAN_LIMITS_24H,
+    ),
+    "2004-03": MonthCalibration(
+        name="2004-03",
+        label="3/04",
+        total_jobs=3468,
+        load=0.75,
+        jobs_frac=_pct(57.5, 13.1, 10.3, 7.6, 5.8, 2.3, 1.6, 1.7),
+        demand_frac=_pct(2.8, 4.6, 8.3, 7.7, 37.6, 16.8, 6.3, 15.9),
+        short_frac=_pct(53.2, 10.1, 13.9, 4.5, 2.5),
+        long_frac=_pct(3.0, 2.6, 3.2, 2.9, 0.3),
+        limits=TITAN_LIMITS_24H,
+    ),
+}
+
+#: Months in the paper's plotting order.
+MONTH_ORDER: tuple[str, ...] = tuple(sorted(MONTHS))

@@ -1,0 +1,126 @@
+"""Requested-runtime (user estimate) models.
+
+The paper's §6.4 reruns everything with the schedulers planning on
+user-requested runtimes (R* = R), which are famously inaccurate: users
+overestimate, and they overwhelmingly request round values from a small
+menu.  Since the synthetic traces carry no real user estimates, these
+models synthesize them.  ``R >= T`` always holds (the machine would have
+killed the job otherwise), and ``R`` never exceeds the period's runtime
+limit.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.simulator.job import Job
+from repro.util.rng import RngStream
+from repro.util.timeunits import HOUR, MINUTE
+from repro.workloads.trace import Workload
+
+
+class EstimateModel(abc.ABC):
+    """Maps actual runtimes to requested runtimes."""
+
+    name: str = "estimates"
+
+    @abc.abstractmethod
+    def requested(self, runtime: float, limit: float, rng: RngStream) -> float:
+        """The requested runtime for a job with actual runtime ``runtime``."""
+
+
+@dataclass(frozen=True)
+class AccurateEstimates(EstimateModel):
+    """Perfect users: R = T."""
+
+    name: str = "accurate"
+
+    def requested(self, runtime: float, limit: float, rng: RngStream) -> float:
+        return min(runtime, limit)
+
+
+@dataclass(frozen=True)
+class UniformFactorEstimates(EstimateModel):
+    """R = T x U with U uniform on [1, max_factor] (a common trace model)."""
+
+    max_factor: float = 5.0
+    name: str = "uniform-factor"
+
+    def __post_init__(self) -> None:
+        if self.max_factor < 1.0:
+            raise ValueError("max_factor must be >= 1")
+
+    def requested(self, runtime: float, limit: float, rng: RngStream) -> float:
+        factor = float(rng.uniform(1.0, self.max_factor))
+        return float(min(max(runtime * factor, runtime), limit))
+
+
+@dataclass(frozen=True)
+class MenuEstimates(EstimateModel):
+    """Users request round values: T x factor, rounded UP to a menu.
+
+    ``exact_prob`` of jobs get R = T (users who resubmit identical work);
+    the rest draw a uniform factor and round up to the classic request menu
+    (15 m, 30 m, 1 h, 2 h, ..., the limit).  This reproduces the two key
+    properties of real estimate distributions: large overestimates and
+    heavy mass on a handful of round values.
+    """
+
+    max_factor: float = 5.0
+    exact_prob: float = 0.15
+    name: str = "menu"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.exact_prob <= 1.0:
+            raise ValueError("exact_prob must be in [0, 1]")
+        if self.max_factor < 1.0:
+            raise ValueError("max_factor must be >= 1")
+
+    @staticmethod
+    def _menu(limit: float) -> list[float]:
+        values = [15 * MINUTE, 30 * MINUTE]
+        h = HOUR
+        while h < limit:
+            values.append(h)
+            h *= 2
+        values.append(limit)
+        return values
+
+    def requested(self, runtime: float, limit: float, rng: RngStream) -> float:
+        if float(rng.uniform()) < self.exact_prob:
+            return min(runtime, limit)
+        raw = runtime * float(rng.uniform(1.0, self.max_factor))
+        for value in self._menu(limit):
+            if value >= raw and value >= runtime:
+                return value
+        return limit
+
+
+def apply_estimates(
+    workload: Workload, model: EstimateModel, seed: int = 0
+) -> Workload:
+    """A new workload with requested runtimes drawn from ``model``.
+
+    Deterministic given ``(workload.name, model.name, seed)``.
+    """
+    rng = RngStream(seed, f"estimates/{workload.name}/{model.name}")
+    limit = workload.cluster.limits.max_runtime
+    jobs = []
+    for j in workload.jobs:
+        requested = model.requested(j.runtime, limit, rng)
+        if requested < j.runtime:
+            raise AssertionError(
+                f"estimate model produced R < T for job {j.job_id}"
+            )
+        jobs.append(
+            Job(
+                job_id=j.job_id,
+                submit_time=j.submit_time,
+                nodes=j.nodes,
+                runtime=j.runtime,
+                requested_runtime=requested,
+                user=j.user,
+            )
+        )
+    return workload.with_jobs(jobs, estimates=model.name, estimates_seed=seed)

@@ -1,0 +1,119 @@
+"""Build custom workload calibrations.
+
+The ten NCSA months are fixed; this module lets users describe *their
+own* machine's mix in the same vocabulary (job fractions per node range,
+runtime-bucket mix per node group, offered load) and feed it straight
+into the synthetic generator — the path for what-if studies ("how does
+DDS/lxf/dynB behave if my large-job share doubles?").
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.simulator.cluster import JobLimits, TITAN_LIMITS_24H
+from repro.workloads.calibration import (
+    MONTHS,
+    MonthCalibration,
+    NODE_GROUPS,
+    NODE_RANGES,
+    RANGE_TO_GROUP,
+)
+
+
+def make_calibration(
+    name: str,
+    total_jobs: int,
+    load: float,
+    jobs_frac: Sequence[float],
+    demand_frac: Sequence[float],
+    short_frac_by_group: Sequence[float],
+    long_frac_by_group: Sequence[float],
+    limits: JobLimits = TITAN_LIMITS_24H,
+    label: str | None = None,
+) -> MonthCalibration:
+    """A validated custom calibration (same invariants as the paper's).
+
+    ``jobs_frac``/``demand_frac`` follow the Table-3 node ranges
+    (1, 2, 3-4, 5-8, 9-16, 17-32, 33-64, 65-128); the runtime fractions
+    follow the Table-4 node groups (1, 2, 3-8, 9-32, 33-128) and are
+    fractions *of all jobs* in each (group, bucket) cell.
+    """
+    return MonthCalibration(
+        name=name,
+        label=label or name,
+        total_jobs=total_jobs,
+        load=load,
+        jobs_frac=tuple(jobs_frac),
+        demand_frac=tuple(demand_frac),
+        short_frac=tuple(short_frac_by_group),
+        long_frac=tuple(long_frac_by_group),
+        limits=limits,
+    )
+
+
+def scaled_mix(
+    base: str | MonthCalibration,
+    name: str,
+    demand_shift: Mapping[int, float] | None = None,
+    load: float | None = None,
+) -> MonthCalibration:
+    """Derive a what-if calibration from an existing month.
+
+    ``demand_shift`` multiplies the demand fraction of the given Table-3
+    range indices (renormalized afterwards); ``load`` overrides the
+    offered load.  Example — "July 2003 but the largest jobs carry twice
+    the demand share"::
+
+        scaled_mix("2003-07", "jul-xl", demand_shift={7: 2.0})
+    """
+    cal = MONTHS[base] if isinstance(base, str) else base
+    demand = list(cal.demand_frac)
+    if demand_shift:
+        for idx, factor in demand_shift.items():
+            if not 0 <= idx < len(NODE_RANGES):
+                raise ValueError(f"range index {idx} outside Table-3 ranges")
+            if factor < 0:
+                raise ValueError("demand factors must be >= 0")
+            demand[idx] *= factor
+        total = sum(demand)
+        if total <= 0:
+            raise ValueError("demand shift zeroed the whole mix")
+        demand = [d / total for d in demand]
+    return MonthCalibration(
+        name=name,
+        label=name,
+        total_jobs=cal.total_jobs,
+        load=load if load is not None else cal.load,
+        jobs_frac=cal.jobs_frac,
+        demand_frac=tuple(demand),
+        short_frac=cal.short_frac,
+        long_frac=cal.long_frac,
+        limits=cal.limits,
+    )
+
+
+def uniform_calibration(
+    name: str = "uniform",
+    total_jobs: int = 1000,
+    load: float = 0.75,
+    limits: JobLimits = TITAN_LIMITS_24H,
+) -> MonthCalibration:
+    """A flat, anonymous mix — handy for tests and neutral baselines."""
+    n_ranges = len(NODE_RANGES)
+    n_groups = len(NODE_GROUPS)
+    jobs = [1.0 / n_ranges] * n_ranges
+    group_mass = [0.0] * n_groups
+    for r in range(n_ranges):
+        group_mass[RANGE_TO_GROUP[r]] += jobs[r]
+    return MonthCalibration(
+        name=name,
+        label=name,
+        total_jobs=total_jobs,
+        load=load,
+        jobs_frac=tuple(jobs),
+        demand_frac=tuple(jobs),
+        short_frac=tuple(m / 3 for m in group_mass),
+        long_frac=tuple(m / 3 for m in group_mass),
+        limits=limits,
+    )

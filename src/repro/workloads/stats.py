@@ -1,0 +1,130 @@
+"""Workload statistics in the shape of the paper's Tables 3 and 4.
+
+These functions recompute the published tables *from a trace* — applied to
+a synthetic month they close the calibration loop (generated mix vs.
+published mix), and applied to a real SWF trace they characterize it the
+same way the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.timeunits import HOUR
+from repro.workloads.calibration import (
+    NODE_GROUPS,
+    NODE_RANGES,
+    group_of_nodes,
+    range_of_nodes,
+)
+from repro.workloads.trace import Workload
+
+
+@dataclass(frozen=True)
+class JobMixTable:
+    """One month's row block of Table 3, computed from a trace."""
+
+    name: str
+    total_jobs: int
+    load: float
+    jobs_frac: tuple[float, ...]  # per NODE_RANGES
+    demand_frac: tuple[float, ...]  # per NODE_RANGES
+
+
+@dataclass(frozen=True)
+class RuntimeTable:
+    """One month's column of Table 4, computed from a trace."""
+
+    name: str
+    short_frac: tuple[float, ...]  # per NODE_GROUPS: P(T <= 1h and group)
+    long_frac: tuple[float, ...]  # per NODE_GROUPS: P(T > 5h and group)
+
+    @property
+    def short_all(self) -> float:
+        return sum(self.short_frac)
+
+    @property
+    def long_all(self) -> float:
+        return sum(self.long_frac)
+
+
+def job_mix_table(workload: Workload) -> JobMixTable:
+    """Recompute the Table-3 job-mix statistics for a workload."""
+    jobs = workload.jobs_in_window()
+    if not jobs:
+        raise ValueError("workload has no in-window jobs")
+    n = len(jobs)
+    counts = [0] * len(NODE_RANGES)
+    areas = [0.0] * len(NODE_RANGES)
+    for job in jobs:
+        r = range_of_nodes(job.nodes)
+        counts[r] += 1
+        areas[r] += job.area
+    total_area = sum(areas)
+    return JobMixTable(
+        name=workload.name,
+        total_jobs=n,
+        load=workload.offered_load(),
+        jobs_frac=tuple(c / n for c in counts),
+        demand_frac=tuple(a / total_area for a in areas),
+    )
+
+
+def runtime_table(workload: Workload) -> RuntimeTable:
+    """Recompute the Table-4 runtime-distribution statistics."""
+    jobs = workload.jobs_in_window()
+    if not jobs:
+        raise ValueError("workload has no in-window jobs")
+    n = len(jobs)
+    short = [0] * len(NODE_GROUPS)
+    long = [0] * len(NODE_GROUPS)
+    for job in jobs:
+        g = group_of_nodes(job.nodes)
+        if job.runtime <= HOUR:
+            short[g] += 1
+        elif job.runtime > 5 * HOUR:
+            long[g] += 1
+    return RuntimeTable(
+        name=workload.name,
+        short_frac=tuple(c / n for c in short),
+        long_frac=tuple(c / n for c in long),
+    )
+
+
+def format_job_mix(tables: list[JobMixTable]) -> str:
+    """Render Table 3 as fixed-width text (one month per row block)."""
+    headers = ["Month", "Measure", "Total"] + [
+        f"{lo}-{hi}" if lo != hi else str(lo) for lo, hi in NODE_RANGES
+    ]
+    lines = ["  ".join(f"{h:>9}" for h in headers)]
+    for t in tables:
+        jobs_row = [t.name, "#jobs", str(t.total_jobs)] + [
+            f"{f * 100:.1f}%" for f in t.jobs_frac
+        ]
+        demand_row = ["", "demand", f"{t.load * 100:.0f}%"] + [
+            f"{f * 100:.1f}%" for f in t.demand_frac
+        ]
+        lines.append("  ".join(f"{c:>9}" for c in jobs_row))
+        lines.append("  ".join(f"{c:>9}" for c in demand_row))
+    return "\n".join(lines)
+
+
+def format_runtime_table(tables: list[RuntimeTable]) -> str:
+    """Render Table 4 as fixed-width text."""
+    group_names = [f"{lo}-{hi}" if lo != hi else str(lo) for lo, hi in NODE_GROUPS]
+    lines = []
+    for title, attr in (("T <= 1 hour", "short_frac"), ("T > 5 hours", "long_frac")):
+        lines.append(title)
+        headers = ["#Nodes"] + [t.name for t in tables]
+        lines.append("  ".join(f"{h:>9}" for h in headers))
+        for g, gname in enumerate(group_names):
+            row = [gname] + [f"{getattr(t, attr)[g] * 100:.1f}%" for t in tables]
+            lines.append("  ".join(f"{c:>9}" for c in row))
+        total_label = "all"
+        totals = [
+            f"{(t.short_all if attr == 'short_frac' else t.long_all) * 100:.1f}%"
+            for t in tables
+        ]
+        lines.append("  ".join(f"{c:>9}" for c in [total_label] + totals))
+        lines.append("")
+    return "\n".join(lines)

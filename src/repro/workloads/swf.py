@@ -1,0 +1,199 @@
+"""Standard Workload Format (SWF) I/O.
+
+SWF is the de-facto interchange format of the Parallel Workloads Archive:
+one job per line, 18 whitespace-separated fields, ``;`` comment lines for
+the header.  Supporting it means anyone holding the real NCSA traces (or
+any other archive trace) can drop them straight into this reproduction in
+place of the synthetic months.
+
+Field map used here (1-based SWF numbering):
+
+======  =======================  =========================
+field   SWF meaning              our use
+======  =======================  =========================
+1       job number               ``job_id``
+2       submit time (s)          ``submit_time``
+4       run time (s)             ``runtime``
+5       allocated processors     fallback for ``nodes``
+8       requested processors     ``nodes``
+9       requested time (s)       ``requested_runtime``
+11      status                   jobs with status 0/5 (failed/cancelled)
+                                 are kept only if they consumed time
+======  =======================  =========================
+
+Requested runtimes below the actual runtime are clamped up to it (real
+logs contain such rows; a scheduler cannot plan with them).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.simulator.cluster import ClusterConfig, JobLimits
+from repro.simulator.job import Job
+from repro.workloads.trace import Workload
+
+_N_FIELDS = 18
+
+
+class SwfParseError(ValueError):
+    """Raised for malformed SWF content, with the offending line number."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"SWF line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _open(source: str | Path | TextIO) -> tuple[TextIO, bool]:
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8"), True
+    return source, False
+
+
+def read_swf(
+    source: str | Path | TextIO,
+    name: str | None = None,
+    cluster: ClusterConfig | None = None,
+    drop_zero_runtime: bool = True,
+) -> Workload:
+    """Parse an SWF stream or file into a :class:`Workload`.
+
+    The measurement window defaults to the full submit-time span.  If no
+    ``cluster`` is given, capacity is inferred as the maximum requested
+    node count (rounded up to a power of two) and limits are set
+    permissively from the data.
+    """
+    stream, owned = _open(source)
+    jobs: list[Job] = []
+    header: dict[str, str] = {}
+    max_nodes = 0
+    max_runtime = 0.0
+    try:
+        for lineno, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(";"):
+                if ":" in line:
+                    key, _, value = line[1:].partition(":")
+                    header[key.strip()] = value.strip()
+                continue
+            fields = line.split()
+            if len(fields) < _N_FIELDS:
+                raise SwfParseError(
+                    lineno, f"expected {_N_FIELDS} fields, got {len(fields)}"
+                )
+            try:
+                job_id = int(fields[0])
+                submit = float(fields[1])
+                runtime = float(fields[3])
+                allocated = int(float(fields[4]))
+                requested_procs = int(float(fields[7]))
+                requested_time = float(fields[8])
+                uid = int(float(fields[11]))
+            except ValueError as exc:
+                raise SwfParseError(lineno, f"bad numeric field: {exc}") from None
+
+            nodes = requested_procs if requested_procs > 0 else allocated
+            if nodes <= 0:
+                raise SwfParseError(lineno, "no usable processor count")
+            if runtime <= 0:
+                if drop_zero_runtime:
+                    continue
+                raise SwfParseError(lineno, "non-positive runtime")
+            if submit < 0:
+                raise SwfParseError(lineno, f"negative submit time {submit}")
+            requested = requested_time if requested_time > 0 else runtime
+            requested = max(requested, runtime)  # clamp R >= T
+
+            jobs.append(
+                Job(
+                    job_id=job_id,
+                    submit_time=submit,
+                    nodes=nodes,
+                    runtime=runtime,
+                    requested_runtime=requested,
+                    user=f"u{uid}" if uid >= 0 else None,
+                )
+            )
+            max_nodes = max(max_nodes, nodes)
+            max_runtime = max(max_runtime, requested)
+    finally:
+        if owned:
+            stream.close()
+
+    if not jobs:
+        raise SwfParseError(0, "no jobs found")
+
+    if cluster is None:
+        capacity = 1
+        while capacity < max_nodes:
+            capacity *= 2
+        cluster = ClusterConfig(
+            nodes=capacity,
+            limits=JobLimits(max_nodes=capacity, max_runtime=max_runtime),
+        )
+
+    lo = min(j.submit_time for j in jobs)
+    hi = max(j.submit_time for j in jobs) + 1.0
+    return Workload(
+        name=name or header.get("Computer", "swf-trace"),
+        jobs=jobs,
+        window=(lo, hi),
+        cluster=cluster,
+        meta={"swf_header": header},
+    )
+
+
+def write_swf(
+    workload: Workload,
+    target: str | Path | TextIO,
+    comments: Iterable[str] = (),
+) -> None:
+    """Write a workload in SWF; unknown fields are ``-1`` per the spec."""
+    if isinstance(target, (str, Path)):
+        stream: TextIO = open(target, "w", encoding="utf-8")
+        owned = True
+    else:
+        stream, owned = target, False
+    try:
+        stream.write(f"; Computer: {workload.name}\n")
+        stream.write(f"; MaxNodes: {workload.cluster.nodes}\n")
+        for comment in comments:
+            stream.write(f"; {comment}\n")
+        for j in workload.jobs:
+            if j.user and j.user.startswith("u") and j.user[1:].isdigit():
+                uid = j.user[1:].lstrip("0") or "0"
+            else:
+                uid = "-1"
+            fields = [
+                str(j.job_id),
+                f"{j.submit_time:.0f}",
+                "-1",  # wait (an outcome, not an input)
+                f"{j.runtime:.0f}",
+                str(j.nodes),
+                "-1",  # avg cpu time
+                "-1",  # used memory
+                str(j.nodes),
+                f"{float(j.requested_runtime):.0f}",
+                "-1",  # requested memory
+                "1",  # status: completed
+                uid,
+                "-1",
+                "-1",
+                "-1",
+                "-1",
+                "-1",
+                "-1",
+            ]
+            stream.write(" ".join(fields) + "\n")
+    finally:
+        if owned:
+            stream.close()
+
+
+def read_swf_string(text: str, **kwargs) -> Workload:
+    """Parse SWF content held in a string (convenience for tests)."""
+    return read_swf(io.StringIO(text), **kwargs)

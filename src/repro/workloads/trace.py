@@ -1,0 +1,91 @@
+"""The :class:`Workload` container: a named job trace with a measurement
+window and the cluster configuration it was built for."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulator.cluster import ClusterConfig
+from repro.simulator.job import Job
+
+
+@dataclass
+class Workload:
+    """A job trace plus the metadata needed to simulate and evaluate it.
+
+    ``window`` is the measurement interval: jobs submitted inside it count
+    toward statistics; jobs outside are warm-up/cool-down.  All jobs —
+    including warm-up/cool-down — are simulated.
+    """
+
+    name: str
+    jobs: list[Job]
+    window: tuple[float, float]
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.jobs = sorted(self.jobs, key=lambda j: (j.submit_time, j.job_id))
+        lo, hi = self.window
+        if not lo < hi:
+            raise ValueError(f"window {self.window} must satisfy lo < hi")
+
+    # ------------------------------------------------------------------
+    def jobs_in_window(self) -> list[Job]:
+        lo, hi = self.window
+        return [j for j in self.jobs if lo <= j.submit_time < hi]
+
+    def offered_load(self) -> float:
+        """Processor demand of in-window jobs over in-window capacity.
+
+        This is the paper's ρ: ``sum(N x T) / (capacity x window span)``.
+        """
+        lo, hi = self.window
+        demand = sum(j.area for j in self.jobs_in_window())
+        return demand / (self.cluster.nodes * (hi - lo))
+
+    def span(self) -> float:
+        return self.window[1] - self.window[0]
+
+    def with_jobs(self, jobs: list[Job], **meta_updates) -> "Workload":
+        """A copy of this workload with different jobs (window kept)."""
+        meta = {**self.meta, **meta_updates}
+        return Workload(
+            name=self.name,
+            jobs=jobs,
+            window=self.window,
+            cluster=self.cluster,
+            meta=meta,
+        )
+
+    def fresh_jobs(self) -> list[Job]:
+        """Deep-copied jobs with reset lifecycle state.
+
+        Simulations mutate jobs (start/end times); run each policy on its
+        own fresh copy so results never bleed across runs.
+        """
+        return [
+            Job(
+                job_id=j.job_id,
+                submit_time=j.submit_time,
+                nodes=j.nodes,
+                runtime=j.runtime,
+                requested_runtime=j.requested_runtime,
+                user=j.user,
+            )
+            for j in self.jobs
+        ]
+
+    def scaled_window(self, factor: float) -> tuple[float, float]:
+        lo, hi = self.window
+        return (lo * factor, hi * factor)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lo, hi = self.window
+        return (
+            f"Workload({self.name!r}, {len(self.jobs)} jobs, "
+            f"window=[{lo:.0f}, {hi:.0f}), load={self.offered_load():.2f})"
+        )

@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.simulator.cluster import ClusterConfig, JobLimits
+from repro.simulator.job import Job, JobState
+from repro.util.timeunits import HOUR
+
+
+_JOB_COUNTER = itertools.count(1)
+
+
+def make_job(
+    job_id: int | None = None,
+    submit: float = 0.0,
+    nodes: int = 1,
+    runtime: float = HOUR,
+    requested: float | None = None,
+    waiting: bool = False,
+) -> Job:
+    """A job with convenient defaults; ``waiting=True`` marks it queued."""
+    job = Job(
+        job_id=job_id if job_id is not None else next(_JOB_COUNTER),
+        submit_time=submit,
+        nodes=nodes,
+        runtime=runtime,
+        requested_runtime=requested,
+    )
+    if waiting:
+        job.state = JobState.WAITING
+    return job
+
+
+def small_cluster(nodes: int = 4, max_runtime: float = 1000 * HOUR) -> ClusterConfig:
+    """A tiny cluster whose limits admit anything the tests construct."""
+    return ClusterConfig(
+        nodes=nodes, limits=JobLimits(max_nodes=nodes, max_runtime=max_runtime)
+    )
+
+
+@pytest.fixture
+def cluster4() -> ClusterConfig:
+    return small_cluster(4)
+
+
+@pytest.fixture
+def cluster128() -> ClusterConfig:
+    return small_cluster(128)

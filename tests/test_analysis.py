@@ -1,0 +1,85 @@
+"""Tests for cross-seed bootstrap analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import BootstrapCI, paired_bootstrap_diff, run_seed_study
+from repro.backfill import fcfs_backfill, lxf_backfill
+
+
+def test_bootstrap_obvious_difference():
+    a = [1.0, 1.1, 0.9, 1.05, 0.95]
+    b = [2.0, 2.1, 1.9, 2.05, 1.95]
+    ci = paired_bootstrap_diff(a, b, seed=1)
+    assert ci.mean_diff == pytest.approx(-1.0)
+    assert ci.hi < 0  # significantly negative
+    assert ci.significant
+    assert ci.prob_a_lower == 1.0
+    assert ci.n_seeds == 5
+
+
+def test_bootstrap_no_difference():
+    rng = np.random.default_rng(0)
+    a = rng.normal(5, 1, 30)
+    noise = rng.normal(0, 1, 30)
+    ci = paired_bootstrap_diff(a, a + noise, seed=1)
+    assert ci.lo < 0 < ci.hi
+    assert not ci.significant
+
+
+def test_bootstrap_validation():
+    with pytest.raises(ValueError, match="equal length"):
+        paired_bootstrap_diff([1, 2], [1, 2, 3])
+    with pytest.raises(ValueError, match="two paired"):
+        paired_bootstrap_diff([1], [2])
+    with pytest.raises(ValueError, match="confidence"):
+        paired_bootstrap_diff([1, 2], [3, 4], confidence=1.5)
+
+
+def test_bootstrap_deterministic_given_seed():
+    a = [1.0, 2.0, 3.0, 4.0]
+    b = [1.5, 2.5, 2.0, 4.5]
+    c1 = paired_bootstrap_diff(a, b, seed=7)
+    c2 = paired_bootstrap_diff(a, b, seed=7)
+    assert (c1.lo, c1.hi) == (c2.lo, c2.hi)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_seed_study(
+        "2003-07",
+        {"FCFS-BF": fcfs_backfill, "LXF-BF": lxf_backfill},
+        seeds=[1, 2, 3, 4],
+        scale=0.05,
+        load=0.9,
+    )
+
+
+def test_seed_study_shape(study):
+    assert study.month == "2003-07"
+    assert study.seeds == (1, 2, 3, 4)
+    assert set(study.values) == {"FCFS-BF", "LXF-BF"}
+    assert len(study.metric("FCFS-BF", "avg_wait_hours")) == 4
+
+
+def test_seed_study_summary(study):
+    summary = study.summary("avg_bounded_slowdown")
+    assert set(summary) == {"FCFS-BF", "LXF-BF"}
+    mean, std = summary["FCFS-BF"]
+    assert mean > 0 and std >= 0
+
+
+def test_seed_study_compare_matches_paper_direction(study):
+    """LXF-BF's slowdown advantage over FCFS-BF holds across seeds."""
+    ci = study.compare("LXF-BF", "FCFS-BF", "avg_bounded_slowdown")
+    assert ci.mean_diff < 0
+    assert ci.prob_a_lower >= 0.75
+
+
+def test_seed_study_validation():
+    with pytest.raises(ValueError, match="unknown metrics"):
+        run_seed_study(
+            "2003-06", {"a": fcfs_backfill}, seeds=[1, 2], metrics=("nope",)
+        )
+    with pytest.raises(ValueError, match="two seeds"):
+        run_seed_study("2003-06", {"a": fcfs_backfill}, seeds=[1])

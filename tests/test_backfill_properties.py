@@ -1,0 +1,165 @@
+"""Property-based tests of the backfill guarantees (hypothesis).
+
+The EASY guarantee is *per decision*: whatever the policy starts now must
+not push the reserved job's scheduled start later.  These tests construct
+random machine states (running set + queue), take one decision, and check
+the guarantee directly on the availability profile — for both the single
+reservation of EASY and conservative backfill's everyone-gets-one.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backfill import BackfillPolicy, conservative_backfill, fcfs_backfill
+from repro.backfill.priorities import FcfsPriority
+from repro.core.profile import AvailabilityProfile
+from repro.simulator.cluster import Cluster
+from repro.simulator.job import Job, JobState
+from repro.simulator.policy import RunningJob
+
+from tests.conftest import small_cluster
+
+CAPACITY = 8
+
+running_spec = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=3),  # nodes
+        st.floats(min_value=10.0, max_value=500.0, allow_nan=False),  # remaining
+    ),
+    max_size=3,
+)
+queue_spec = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=CAPACITY),  # nodes
+        st.floats(min_value=10.0, max_value=600.0, allow_nan=False),  # runtime
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _scenario(running_shapes, queue_shapes):
+    """Build (cluster, running views, waiting jobs) at now = 0."""
+    cluster = Cluster(small_cluster(CAPACITY))
+    views = []
+    jid = 1000
+    for nodes, remaining in running_shapes:
+        if nodes > cluster.free_nodes:
+            continue
+        job = Job(job_id=jid, submit_time=0.0, nodes=nodes, runtime=remaining)
+        job.state = JobState.WAITING
+        cluster.start(job, 0.0)
+        views.append(RunningJob(job=job, release_time=remaining))
+        jid += 1
+    waiting = []
+    for i, (nodes, runtime) in enumerate(queue_shapes):
+        job = Job(job_id=i, submit_time=float(i), nodes=nodes, runtime=runtime)
+        job.state = JobState.WAITING
+        waiting.append(job)
+    return cluster, views, waiting
+
+
+def _profile(cluster, views, started=()):
+    profile = AvailabilityProfile.from_running(cluster.capacity, 0.0, views)
+    for job in started:
+        profile.reserve(0.0, job.runtime, job.nodes)
+    return profile
+
+
+@given(running_spec, queue_spec)
+@settings(max_examples=120, deadline=None)
+def test_easy_backfill_never_delays_the_reservation(running_shapes, queue_shapes):
+    cluster, views, waiting = _scenario(running_shapes, queue_shapes)
+    policy = fcfs_backfill()
+    policy.reset()
+
+    # The reserved job is the first (FCFS) job that cannot start now.
+    baseline = _profile(cluster, views)
+    reserved_job = None
+    scratch = baseline.copy()
+    for job in waiting:
+        start = scratch.earliest_start(job.nodes, job.runtime, 0.0)
+        if start <= 0.0:
+            scratch.reserve(start, job.runtime, job.nodes)
+        else:
+            reserved_job = job
+            promised = start
+            break
+
+    started = policy.decide(0.0, waiting, views, cluster)
+    if reserved_job is None or reserved_job in started:
+        return  # nothing was blocked; nothing to protect
+    after = _profile(cluster, views, started)
+    realized = after.earliest_start(reserved_job.nodes, reserved_job.runtime, 0.0)
+    assert realized <= promised + 1e-6, (
+        f"reservation pushed from {promised} to {realized}"
+    )
+
+
+@given(running_spec, queue_spec)
+@settings(max_examples=100, deadline=None)
+def test_conservative_backfill_delays_no_queued_job(running_shapes, queue_shapes):
+    """Under conservative backfill, every queued job's earliest start
+    (in FCFS chain order) is no later after the decision than before."""
+    cluster, views, waiting = _scenario(running_shapes, queue_shapes)
+    policy = conservative_backfill()
+    policy.reset()
+
+    def chain_starts(profile, jobs):
+        scratch = profile.copy()
+        starts = {}
+        for job in jobs:
+            start = scratch.earliest_start(job.nodes, job.runtime, 0.0)
+            scratch.reserve(start, job.runtime, job.nodes)
+            starts[job.job_id] = start
+        return starts
+
+    before = chain_starts(_profile(cluster, views), waiting)
+    started = policy.decide(0.0, waiting, views, cluster)
+    remaining = [j for j in waiting if j not in started]
+    after = chain_starts(_profile(cluster, views, started), remaining)
+    for job in remaining:
+        assert after[job.job_id] <= before[job.job_id] + 1e-6
+
+
+@given(running_spec, queue_spec)
+@settings(max_examples=80, deadline=None)
+def test_started_jobs_always_fit_now(running_shapes, queue_shapes):
+    cluster, views, waiting = _scenario(running_shapes, queue_shapes)
+    for make in (fcfs_backfill, conservative_backfill):
+        policy = make()
+        policy.reset()
+        started = policy.decide(0.0, list(waiting), views, cluster)
+        assert sum(j.nodes for j in started) <= cluster.free_nodes
+        # decide must not mutate the queue's jobs.
+        assert all(j.state is JobState.WAITING for j in waiting)
+
+
+def test_conservative_name_and_completion():
+    from repro.simulator.engine import Simulation
+    from tests.conftest import make_job
+
+    policy = conservative_backfill()
+    assert policy.name == "Conservative-backfill"
+    jobs = [
+        make_job(job_id=i, submit=i * 100.0, nodes=(i % CAPACITY) + 1, runtime=500.0)
+        for i in range(25)
+    ]
+    result = Simulation(jobs, policy, small_cluster(CAPACITY)).run()
+    assert len(result.jobs) == 25
+
+
+@given(running_spec, queue_spec)
+@settings(max_examples=60, deadline=None)
+def test_decision_invariant_to_queue_presentation_order(running_shapes, queue_shapes):
+    """Backfill decisions depend on priority order, not on the order the
+    engine happens to present the waiting list."""
+    cluster, views, waiting = _scenario(running_shapes, queue_shapes)
+    policy = fcfs_backfill()
+    policy.reset()
+    forward = policy.decide(0.0, list(waiting), views, cluster)
+    policy.reset()
+    backward = policy.decide(0.0, list(reversed(waiting)), views, cluster)
+    assert {j.job_id for j in forward} == {j.job_id for j in backward}

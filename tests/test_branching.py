@@ -1,0 +1,77 @@
+"""Unit tests for the branching heuristics."""
+
+import pytest
+
+from repro.core.branching import HEURISTICS, fcfs_key, lxf_key, order_jobs, sjf_key
+from repro.util.timeunits import HOUR, MINUTE
+
+from tests.conftest import make_job
+
+
+def test_fcfs_orders_by_submission():
+    a = make_job(job_id=1, submit=100.0)
+    b = make_job(job_id=2, submit=50.0)
+    assert order_jobs([a, b], "fcfs", now=200.0) == [b, a]
+
+
+def test_fcfs_tie_breaks_by_id():
+    a = make_job(job_id=2, submit=50.0)
+    b = make_job(job_id=1, submit=50.0)
+    assert order_jobs([a, b], "fcfs", now=100.0) == [b, a]
+
+
+def test_lxf_puts_largest_slowdown_first():
+    # Short job waiting a while has huge slowdown; long job fresh has ~1.
+    short_waiting = make_job(job_id=1, submit=0.0, runtime=MINUTE)
+    long_fresh = make_job(job_id=2, submit=HOUR - 1, runtime=10 * HOUR)
+    assert order_jobs([long_fresh, short_waiting], "lxf", now=HOUR) == [
+        short_waiting,
+        long_fresh,
+    ]
+
+
+def test_order_jobs_custom_runtime_of():
+    # A runtime_of that treats every job as equally long collapses sjf
+    # ordering to the submit/id tie-break.
+    a = make_job(job_id=2, submit=1.0, runtime=10 * HOUR)
+    b = make_job(job_id=1, submit=0.0, runtime=MINUTE)
+    assert order_jobs([a, b], "sjf", now=0.0, runtime_of=lambda j: HOUR) == [b, a]
+
+
+def test_lxf_uses_planning_runtime():
+    # With a larger planning runtime (e.g. the user's request), the
+    # denominator grows and the slowdown shrinks.
+    job = make_job(submit=0.0, runtime=MINUTE, requested=HOUR)
+    now = HOUR
+    key_actual = lxf_key(job, now, job.runtime)
+    key_requested = lxf_key(job, now, float(job.requested_runtime))
+    assert -key_actual[0] > -key_requested[0]
+
+
+def test_sjf_orders_by_runtime():
+    a = make_job(job_id=1, runtime=5 * HOUR)
+    b = make_job(job_id=2, runtime=HOUR)
+    assert order_jobs([a, b], "sjf", now=0.0) == [b, a]
+
+
+def test_unknown_heuristic_rejected():
+    with pytest.raises(ValueError, match="unknown heuristic"):
+        order_jobs([], "random", now=0.0)
+
+
+def test_registry_contains_paper_heuristics():
+    assert {"fcfs", "lxf"} <= set(HEURISTICS)
+
+
+def test_keys_are_deterministic_total_orders():
+    jobs = [make_job(job_id=i, submit=float(i % 3), runtime=HOUR) for i in range(6)]
+    for name in HEURISTICS:
+        once = order_jobs(jobs, name, now=10.0)
+        twice = order_jobs(list(reversed(jobs)), name, now=10.0)
+        assert once == twice
+
+
+def test_fcfs_key_shape():
+    job = make_job(job_id=7, submit=3.0)
+    assert fcfs_key(job, 0.0, job.runtime) == (3.0, 7)
+    assert sjf_key(job, 0.0, job.runtime)[0] == job.runtime

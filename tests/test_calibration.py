@@ -1,0 +1,122 @@
+"""Tests for the transcribed Table 3 / Table 4 calibration data."""
+
+import pytest
+
+from repro.simulator.cluster import TITAN_LIMITS_12H, TITAN_LIMITS_24H
+from repro.workloads.calibration import (
+    MONTH_ORDER,
+    MONTHS,
+    NODE_GROUPS,
+    NODE_RANGES,
+    RANGE_TO_GROUP,
+    MonthCalibration,
+    group_of_nodes,
+    range_of_nodes,
+)
+
+
+def test_all_ten_months_present_in_order():
+    assert len(MONTHS) == 10
+    assert MONTH_ORDER[0] == "2003-06"
+    assert MONTH_ORDER[-1] == "2004-03"
+    assert list(MONTH_ORDER) == sorted(MONTH_ORDER)
+
+
+def test_fraction_tables_sum_to_one():
+    for cal in MONTHS.values():
+        assert sum(cal.jobs_frac) == pytest.approx(1.0, abs=0.03)
+        assert sum(cal.demand_frac) == pytest.approx(1.0, abs=0.03)
+
+
+def test_runtime_fractions_within_job_fractions():
+    # P(T<=1h, group) + P(T>5h, group) <= P(group), modulo rounding.
+    for cal in MONTHS.values():
+        by_group = cal.jobs_frac_by_group()
+        for g in range(len(NODE_GROUPS)):
+            assert cal.short_frac[g] + cal.long_frac[g] <= by_group[g] + 0.02, (
+                cal.name,
+                g,
+            )
+
+
+def test_paper_highlighted_anomalies_present():
+    # July 2003: largest jobs (65-128) carry ~50% of demand, 8.5% of jobs.
+    jul = MONTHS["2003-07"]
+    assert jul.demand_frac[-1] == pytest.approx(0.497)
+    assert jul.jobs_frac[-1] == pytest.approx(0.085)
+    assert jul.load == pytest.approx(0.89)
+    # January 2004: 32.7% of jobs longer than 5h, mostly one-node; 20.5%
+    # of jobs are 9-32 nodes and short.
+    jan = MONTHS["2004-01"]
+    assert sum(jan.long_frac) == pytest.approx(0.327, abs=0.005)
+    assert jan.long_frac[0] == pytest.approx(0.231)
+    assert jan.short_frac[3] == pytest.approx(0.205)
+
+
+def test_runtime_limits_change_in_december():
+    for name, cal in MONTHS.items():
+        if name < "2003-12":
+            assert cal.limits == TITAN_LIMITS_12H, name
+        else:
+            assert cal.limits == TITAN_LIMITS_24H, name
+
+
+def test_monthly_loads_in_paper_range():
+    # "typically in the range of 70-80%, but July 2003 has a higher load (89%)"
+    for name, cal in MONTHS.items():
+        if name == "2003-07":
+            assert cal.load == 0.89
+        else:
+            assert 0.70 <= cal.load <= 0.82
+
+
+def test_node_range_classification():
+    assert range_of_nodes(1) == 0
+    assert range_of_nodes(2) == 1
+    assert range_of_nodes(4) == 2
+    assert range_of_nodes(8) == 3
+    assert range_of_nodes(16) == 4
+    assert range_of_nodes(32) == 5
+    assert range_of_nodes(64) == 6
+    assert range_of_nodes(128) == 7
+    with pytest.raises(ValueError):
+        range_of_nodes(129)
+
+
+def test_node_group_classification_consistent_with_ranges():
+    for r, (lo, hi) in enumerate(NODE_RANGES):
+        assert group_of_nodes(lo) == RANGE_TO_GROUP[r]
+        assert group_of_nodes(hi) == RANGE_TO_GROUP[r]
+
+
+def test_bucket_probs_are_distributions():
+    for cal in MONTHS.values():
+        for p_short, p_mid, p_long in cal.bucket_probs_by_group():
+            assert p_short >= 0 and p_mid >= -1e-9 and p_long >= 0
+            assert p_short + p_mid + p_long == pytest.approx(1.0)
+
+
+def test_calibration_validation_rejects_bad_data():
+    good = MONTHS["2003-06"]
+    with pytest.raises(ValueError, match="sums to"):
+        MonthCalibration(
+            name="x",
+            label="x",
+            total_jobs=100,
+            load=0.8,
+            jobs_frac=(0.5,) * 8,  # sums to 4
+            demand_frac=good.demand_frac,
+            short_frac=good.short_frac,
+            long_frac=good.long_frac,
+        )
+    with pytest.raises(ValueError, match="load"):
+        MonthCalibration(
+            name="x",
+            label="x",
+            total_jobs=100,
+            load=1.5,
+            jobs_frac=good.jobs_frac,
+            demand_frac=good.demand_frac,
+            short_frac=good.short_frac,
+            long_frac=good.long_frac,
+        )

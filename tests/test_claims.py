@@ -1,0 +1,62 @@
+"""Tests for the claims harness (on a reduced month set).
+
+The full certificate runs in ``benchmarks/bench_claims.py``; these tests
+exercise the machinery itself — context construction, claim evaluation,
+rendering — on three months at a small scale.
+"""
+
+import pytest
+
+from repro.experiments.claims import (
+    ClaimResult,
+    build_context,
+    evaluate_claims,
+    render_claims,
+)
+from repro.experiments.config import ExperimentScale
+
+TINY = ExperimentScale(job_scale=0.05, node_limit_factor=0.03, seed=2005)
+MONTHS = ["2003-07", "2003-08", "2004-01"]
+
+
+@pytest.fixture(scope="module")
+def context():
+    return build_context(TINY, months=MONTHS)
+
+
+def test_context_covers_policies_and_months(context):
+    policies = {key for key, _ in context.runs}
+    assert {"fcfs-bf", "lxf-bf", "dds-lxf", "dds-fcfs", "lds-lxf"} <= policies
+    assert set(context.months) == set(MONTHS)
+    assert set(context.thresholds) == set(MONTHS)
+    assert "fig6" in context.extras
+
+
+def test_context_series_helpers(context):
+    series = context.series("fcfs-bf", lambda r: r.metrics.avg_wait_hours)
+    assert len(series) == len(MONTHS)
+    assert context.total("fcfs-bf", lambda r: r.metrics.avg_wait_hours) == (
+        pytest.approx(sum(series))
+    )
+    wins = context.wins("lxf-bf", "fcfs-bf", lambda r: r.metrics.avg_bounded_slowdown)
+    assert 0 <= wins <= len(MONTHS)
+
+
+def test_claims_evaluate_and_definitional_holds(context):
+    results = evaluate_claims(context)
+    assert len(results) >= 10
+    by_id = {r.claim_id: r for r in results}
+    # C5 is definitional: it must always pass.
+    assert by_id["C5"].passed
+    # Most claims should hold even at this tiny scale.
+    assert sum(r.passed for r in results) >= len(results) - 3
+
+
+def test_render_claims_format():
+    results = [
+        ClaimResult("C1", "something holds", True, "3/3 months"),
+        ClaimResult("C2", "something else", False, "10 vs 5"),
+    ]
+    text = render_claims(results)
+    assert "[PASS]" in text and "[FAIL]" in text
+    assert "1/2 claims reproduced" in text

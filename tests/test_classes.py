@@ -1,0 +1,82 @@
+"""Tests for the Figure-5 job-class grids."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.classes import (
+    NODE_CLASSES,
+    RUNTIME_CLASSES,
+    avg_wait_grid,
+    node_class,
+    runtime_class,
+)
+from repro.util.timeunits import HOUR, MINUTE
+
+from tests.conftest import make_job
+
+
+def _completed(submit, start, runtime, nodes):
+    job = make_job(submit=submit, nodes=nodes, runtime=runtime)
+    job.start_time = start
+    job.end_time = start + runtime
+    return job
+
+
+def test_runtime_class_boundaries():
+    assert runtime_class(5 * MINUTE) == 0
+    assert runtime_class(10 * MINUTE) == 0  # boundary belongs below
+    assert runtime_class(10 * MINUTE + 1) == 1
+    assert runtime_class(HOUR) == 1
+    assert runtime_class(4 * HOUR) == 2
+    assert runtime_class(8 * HOUR) == 3
+    assert runtime_class(24 * HOUR) == 4
+    with pytest.raises(ValueError):
+        runtime_class(0.0)
+
+
+def test_node_class_boundaries():
+    assert node_class(1) == 0
+    assert node_class(2) == 1
+    assert node_class(8) == 1
+    assert node_class(9) == 2
+    assert node_class(32) == 2
+    assert node_class(64) == 3
+    assert node_class(128) == 4
+    with pytest.raises(ValueError):
+        node_class(0)
+
+
+def test_classes_cover_titan_domain():
+    # Every (runtime, nodes) a Titan job can have is classifiable.
+    for nodes in (1, 2, 3, 8, 9, 33, 64, 65, 128):
+        node_class(nodes)
+    for runtime in (1.0, MINUTE, HOUR, 12 * HOUR, 24 * HOUR):
+        runtime_class(runtime)
+
+
+def test_grid_aggregation():
+    jobs = [
+        _completed(0.0, HOUR, 5 * MINUTE, 1),  # class (0, 0): wait 1h
+        _completed(0.0, 3 * HOUR, 5 * MINUTE, 1),  # class (0, 0): wait 3h
+        _completed(0.0, 2 * HOUR, 10 * HOUR, 128),  # class (4, 4): wait 2h
+    ]
+    grid = avg_wait_grid(jobs)
+    assert grid.counts[0, 0] == 2
+    assert grid.cell(0, 0) == pytest.approx(2.0)
+    assert grid.counts[4, 4] == 1
+    assert grid.cell(4, 4) == pytest.approx(2.0)
+
+
+def test_empty_cells_are_nan():
+    jobs = [_completed(0.0, HOUR, 5 * MINUTE, 1)]
+    grid = avg_wait_grid(jobs)
+    assert math.isnan(grid.cell(4, 4))
+    assert grid.counts.sum() == 1
+
+
+def test_grid_shape_matches_class_tables():
+    grid = avg_wait_grid([_completed(0.0, HOUR, HOUR, 1)])
+    assert grid.values.shape == (len(RUNTIME_CLASSES), len(NODE_CLASSES))
+    assert grid.counts.shape == grid.values.shape

@@ -1,0 +1,95 @@
+"""Unit tests for the cluster model."""
+
+import pytest
+
+from repro.simulator.cluster import (
+    TITAN_LIMITS_12H,
+    TITAN_LIMITS_24H,
+    Cluster,
+    ClusterConfig,
+    JobLimits,
+)
+from repro.simulator.job import JobState
+from repro.util.timeunits import HOUR
+
+from tests.conftest import make_job, small_cluster
+
+
+def test_titan_limits_match_table2():
+    assert TITAN_LIMITS_12H.max_nodes == 128
+    assert TITAN_LIMITS_12H.max_runtime == 12 * HOUR
+    assert TITAN_LIMITS_24H.max_runtime == 24 * HOUR
+    assert ClusterConfig().nodes == 128
+
+
+def test_limits_admit():
+    limits = JobLimits(max_nodes=8, max_runtime=HOUR)
+    assert limits.admits(8, HOUR)
+    assert not limits.admits(9, HOUR)
+    assert not limits.admits(8, HOUR + 1)
+
+
+def test_config_rejects_limit_above_capacity():
+    with pytest.raises(ValueError, match="exceeds capacity"):
+        ClusterConfig(nodes=4, limits=JobLimits(max_nodes=8, max_runtime=HOUR))
+
+
+def test_start_finish_cycle(cluster4):
+    cluster = Cluster(cluster4)
+    job = make_job(nodes=3, runtime=100, waiting=True)
+    end = cluster.start(job, now=10.0)
+    assert end == 110.0
+    assert cluster.free_nodes == 1
+    assert cluster.used_nodes == 3
+    assert job.state is JobState.RUNNING
+    assert cluster.running_jobs == [job]
+    cluster.finish(job, now=110.0)
+    assert cluster.free_nodes == 4
+    assert job.state is JobState.COMPLETED
+
+
+def test_start_rejects_overcommit(cluster4):
+    cluster = Cluster(cluster4)
+    a = make_job(nodes=3, waiting=True)
+    cluster.start(a, 0.0)
+    b = make_job(nodes=2, waiting=True)
+    with pytest.raises(ValueError, match="nodes"):
+        cluster.start(b, 0.0)
+
+
+def test_start_rejects_wrong_state(cluster4):
+    cluster = Cluster(cluster4)
+    job = make_job(nodes=1)  # PENDING, not WAITING
+    with pytest.raises(ValueError, match="state"):
+        cluster.start(job, 0.0)
+
+
+def test_start_rejects_before_submit(cluster4):
+    cluster = Cluster(cluster4)
+    job = make_job(nodes=1, submit=100.0, waiting=True)
+    with pytest.raises(ValueError, match="before submit"):
+        cluster.start(job, 50.0)
+
+
+def test_finish_rejects_not_running(cluster4):
+    cluster = Cluster(cluster4)
+    job = make_job(nodes=1, waiting=True)
+    with pytest.raises(ValueError, match="not running"):
+        cluster.finish(job, 0.0)
+
+
+def test_finish_rejects_wrong_time(cluster4):
+    cluster = Cluster(cluster4)
+    job = make_job(nodes=1, runtime=100, waiting=True)
+    cluster.start(job, 0.0)
+    with pytest.raises(ValueError, match="expected"):
+        cluster.finish(job, 50.0)
+
+
+def test_admits_uses_requested_runtime():
+    config = small_cluster(8, max_runtime=HOUR)
+    cluster = Cluster(config)
+    ok = make_job(nodes=8, runtime=HOUR / 2, requested=HOUR)
+    too_long = make_job(nodes=1, runtime=HOUR / 2, requested=2 * HOUR)
+    assert cluster.admits(ok)
+    assert not cluster.admits(too_long)

@@ -1,0 +1,41 @@
+"""Tests for experiment scaling configuration."""
+
+import pytest
+
+from repro.experiments.config import BENCH_SCALE, FULL_SCALE, ExperimentScale, current_scale
+
+
+def test_full_scale_is_identity():
+    assert FULL_SCALE.job_scale == 1.0
+    assert FULL_SCALE.L(1000) == 1000
+    assert FULL_SCALE.L(100_000) == 100_000
+
+
+def test_bench_scale_reduces_L_proportionally():
+    exp = ExperimentScale(job_scale=0.1, node_limit_factor=0.1)
+    assert exp.L(1000) == 100
+    assert exp.L(8000) == 800
+
+
+def test_L_never_below_floor():
+    exp = ExperimentScale(node_limit_factor=0.001)
+    assert exp.L(1000) >= 16
+
+
+def test_current_scale_env_overrides(monkeypatch):
+    monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+    assert current_scale() == FULL_SCALE
+    monkeypatch.delenv("REPRO_FULL_SCALE")
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    monkeypatch.setenv("REPRO_L_FACTOR", "0.25")
+    monkeypatch.setenv("REPRO_SEED", "99")
+    exp = current_scale()
+    assert exp.job_scale == 0.5
+    assert exp.node_limit_factor == 0.25
+    assert exp.seed == 99
+
+
+def test_current_scale_defaults(monkeypatch):
+    for var in ("REPRO_FULL_SCALE", "REPRO_SCALE", "REPRO_L_FACTOR", "REPRO_SEED"):
+        monkeypatch.delenv(var, raising=False)
+    assert current_scale() == BENCH_SCALE

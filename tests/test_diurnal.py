@@ -1,0 +1,59 @@
+"""Tests for the diurnal (daily-cycle) arrival option of the generator."""
+
+import numpy as np
+import pytest
+
+from repro.util.timeunits import DAY, HOUR
+from repro.workloads.synthetic import SyntheticMonthGenerator, generate_month
+from repro.workloads.calibration import MONTHS
+
+
+def _hour_of_day(times):
+    return (np.asarray(times) % DAY) / HOUR
+
+
+def test_amplitude_validation():
+    with pytest.raises(ValueError, match="diurnal_amplitude"):
+        SyntheticMonthGenerator(calibration=MONTHS["2003-06"], diurnal_amplitude=1.0)
+    with pytest.raises(ValueError, match="diurnal_amplitude"):
+        generate_month("2003-06", diurnal_amplitude=-0.1)
+
+
+def test_zero_amplitude_is_default_homogeneous():
+    a = generate_month("2003-06", seed=9, scale=0.05)
+    b = generate_month("2003-06", seed=9, scale=0.05, diurnal_amplitude=0.0)
+    assert [j.submit_time for j in a.jobs] == [j.submit_time for j in b.jobs]
+
+
+def test_diurnal_concentrates_daytime_arrivals():
+    flat = generate_month("2003-08", seed=9, scale=0.5)
+    cyclic = generate_month("2003-08", seed=9, scale=0.5, diurnal_amplitude=0.9)
+
+    def daytime_fraction(workload):
+        hours = _hour_of_day([j.submit_time for j in workload.jobs])
+        return np.mean((hours >= 9) & (hours < 19))
+
+    # Peak at 14:00; the 9:00-19:00 window should hold clearly more mass
+    # under the cycle than the ~10/24 it holds under a flat process.
+    assert daytime_fraction(cyclic) > daytime_fraction(flat) + 0.10
+
+
+def test_diurnal_preserves_counts_and_mix():
+    flat = generate_month("2003-08", seed=9, scale=0.1)
+    cyclic = generate_month("2003-08", seed=9, scale=0.1, diurnal_amplitude=0.8)
+    assert len(cyclic.jobs) == len(flat.jobs)
+    # Job shapes are drawn by the same streams: identical multiset of N, T.
+    assert sorted(j.nodes for j in cyclic.jobs) == sorted(j.nodes for j in flat.jobs)
+
+
+def test_diurnal_is_deterministic():
+    a = generate_month("2003-08", seed=4, scale=0.05, diurnal_amplitude=0.7)
+    b = generate_month("2003-08", seed=4, scale=0.05, diurnal_amplitude=0.7)
+    assert [j.submit_time for j in a.jobs] == [j.submit_time for j in b.jobs]
+
+
+def test_diurnal_times_sorted_in_bounds():
+    w = generate_month("2003-08", seed=4, scale=0.05, diurnal_amplitude=0.7)
+    times = [j.submit_time for j in w.jobs]
+    assert times == sorted(times)
+    assert times[0] >= 0

@@ -1,0 +1,36 @@
+"""Run the doctests embedded in docstrings.
+
+Keeps usage examples in the documentation honest — if an API drifts,
+its inline example fails here.
+"""
+
+import doctest
+
+import pytest
+
+import repro.util.timeunits
+
+MODULES_WITH_DOCTESTS = [
+    repro.util.timeunits,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0
+
+
+def test_readme_quickstart_runs():
+    """The README's quickstart snippet must execute as written."""
+    from repro import fcfs_backfill, generate_month, make_policy, simulate
+
+    workload = generate_month("2003-07", seed=1, scale=0.02)
+    dds = make_policy("dds", "lxf", node_limit=50)
+    run = simulate(workload, dds)
+    assert run.metrics.avg_wait_hours >= 0
+    baseline = simulate(workload, fcfs_backfill())
+    assert baseline.metrics.n_jobs == run.metrics.n_jobs

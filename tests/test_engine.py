@@ -1,0 +1,172 @@
+"""Unit and integration tests for the event-driven simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.cluster import Cluster
+from repro.simulator.engine import Simulation
+from repro.simulator.job import Job, JobState
+from repro.simulator.policy import RunningJob, SchedulingPolicy
+
+from tests.conftest import make_job, small_cluster
+
+
+class GreedyFifo(SchedulingPolicy):
+    """Start queued jobs in submit order while they fit — a minimal policy."""
+
+    name = "greedy-fifo"
+
+    def decide(self, now, waiting, running, cluster):
+        started = []
+        free = cluster.free_nodes
+        for job in waiting:
+            if job.nodes <= free:
+                started.append(job)
+                free -= job.nodes
+        return started
+
+
+class NeverStart(SchedulingPolicy):
+    """Pathological policy that starves everything."""
+
+    name = "never"
+
+    def decide(self, now, waiting, running, cluster):
+        return []
+
+
+class DoubleReturner(GreedyFifo):
+    name = "double"
+
+    def decide(self, now, waiting, running, cluster):
+        chosen = super().decide(now, waiting, running, cluster)
+        return chosen + chosen  # illegal: same job twice
+
+
+def test_simple_sequential_run(cluster4):
+    jobs = [
+        make_job(job_id=1, submit=0, nodes=4, runtime=100),
+        make_job(job_id=2, submit=10, nodes=4, runtime=50),
+    ]
+    result = Simulation(jobs, GreedyFifo(), cluster4).run()
+    by_id = {j.job_id: j for j in result.jobs}
+    assert by_id[1].start_time == 0
+    assert by_id[1].end_time == 100
+    # Job 2 needs the whole machine; it starts when job 1 finishes.
+    assert by_id[2].start_time == 100
+    assert by_id[2].end_time == 150
+    assert result.decision_count >= 3
+
+
+def test_parallel_packing(cluster4):
+    jobs = [
+        make_job(job_id=1, submit=0, nodes=2, runtime=100),
+        make_job(job_id=2, submit=0, nodes=2, runtime=100),
+        make_job(job_id=3, submit=0, nodes=1, runtime=10),
+    ]
+    result = Simulation(jobs, GreedyFifo(), cluster4).run()
+    by_id = {j.job_id: j for j in result.jobs}
+    assert by_id[1].start_time == 0
+    assert by_id[2].start_time == 0
+    # No room for job 3 until someone finishes.
+    assert by_id[3].start_time == 100
+
+
+def test_all_jobs_complete_and_marked(cluster4):
+    jobs = [make_job(job_id=i, submit=i * 5.0, nodes=1, runtime=30) for i in range(10)]
+    result = Simulation(jobs, GreedyFifo(), cluster4).run()
+    assert len(result.jobs) == 10
+    assert all(j.state is JobState.COMPLETED for j in result.jobs)
+    assert all(j.start_time >= j.submit_time for j in result.jobs)
+
+
+def test_starvation_is_an_error(cluster4):
+    jobs = [make_job(job_id=1, submit=0, nodes=1, runtime=10)]
+    with pytest.raises(AssertionError, match="unfinished"):
+        Simulation(jobs, NeverStart(), cluster4).run()
+
+
+def test_policy_returning_duplicate_is_an_error(cluster4):
+    jobs = [make_job(job_id=1, submit=0, nodes=1, runtime=10)]
+    with pytest.raises(ValueError, match="twice"):
+        Simulation(jobs, DoubleReturner(), cluster4).run()
+
+
+def test_rejects_empty_workload(cluster4):
+    with pytest.raises(ValueError, match="empty"):
+        Simulation([], GreedyFifo(), cluster4)
+
+
+def test_rejects_duplicate_job_ids(cluster4):
+    jobs = [make_job(job_id=1), make_job(job_id=1)]
+    with pytest.raises(ValueError, match="duplicate"):
+        Simulation(jobs, GreedyFifo(), cluster4)
+
+
+def test_rejects_inadmissible_job():
+    config = small_cluster(4)
+    jobs = [make_job(job_id=1, nodes=5)]
+    with pytest.raises(ValueError, match="violates cluster limits"):
+        Simulation(jobs, GreedyFifo(), config)
+
+
+def test_queue_length_time_average(cluster4):
+    # One running job blocks a second for 100 s: queue length is 1 over
+    # [0, 100) and 0 afterwards.  Window [0, 200) -> average 0.5.
+    jobs = [
+        make_job(job_id=1, submit=0, nodes=4, runtime=100),
+        make_job(job_id=2, submit=0, nodes=4, runtime=100),
+    ]
+    result = Simulation(jobs, GreedyFifo(), cluster4, window=(0.0, 200.0)).run()
+    assert result.avg_queue_length == pytest.approx(0.5)
+
+
+def test_utilization_accumulates_in_window(cluster4):
+    jobs = [make_job(job_id=1, submit=0, nodes=2, runtime=100)]
+    result = Simulation(jobs, GreedyFifo(), cluster4, window=(0.0, 100.0)).run()
+    assert result.utilization == pytest.approx(0.5)
+
+
+def test_running_view_uses_requested_runtime_when_planning_with_R(cluster4):
+    captured: list[tuple[float, float]] = []
+
+    from repro.predict.source import RequestedRuntimeSource
+
+    class Spy(GreedyFifo):
+        runtime_source = RequestedRuntimeSource()
+
+        def decide(self, now, waiting, running, cluster):
+            for r in running:
+                captured.append((now, r.release_time))
+            return super().decide(now, waiting, running, cluster)
+
+    jobs = [
+        make_job(job_id=1, submit=0, nodes=4, runtime=50, requested=100),
+        make_job(job_id=2, submit=10, nodes=1, runtime=10),
+    ]
+    Simulation(jobs, Spy(), cluster4).run()
+    # At job 2's arrival (t=10), job 1 is believed to release at 0+R=100,
+    # not at its actual end time 50.
+    assert (10.0, 100.0) in captured
+
+
+def test_finishes_processed_before_arrivals_at_same_instant(cluster4):
+    # Job 2 arrives exactly when job 1 finishes; the machine must appear
+    # free to the scheduling decision at that instant.
+    jobs = [
+        make_job(job_id=1, submit=0, nodes=4, runtime=100),
+        make_job(job_id=2, submit=100, nodes=4, runtime=10),
+    ]
+    result = Simulation(jobs, GreedyFifo(), cluster4).run()
+    by_id = {j.job_id: j for j in result.jobs}
+    assert by_id[2].start_time == 100
+
+
+def test_jobs_in_window_filter(cluster4):
+    jobs = [
+        make_job(job_id=1, submit=0, nodes=1, runtime=10),
+        make_job(job_id=2, submit=100, nodes=1, runtime=10),
+    ]
+    result = Simulation(jobs, GreedyFifo(), cluster4, window=(50.0, 150.0)).run()
+    assert [j.job_id for j in result.jobs_in_window()] == [2]

@@ -1,0 +1,110 @@
+"""Additional engine edge cases: idle gaps, hooks, tie-breaking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.engine import Simulation
+from repro.simulator.job import JobState
+from repro.util.timeunits import HOUR
+
+from tests.conftest import make_job, small_cluster
+from tests.test_engine import GreedyFifo
+
+
+def test_long_idle_gap_between_jobs(cluster4):
+    # Machine drains completely before the next arrival: time must jump.
+    jobs = [
+        make_job(job_id=1, submit=0.0, nodes=1, runtime=10.0),
+        make_job(job_id=2, submit=1e6, nodes=1, runtime=10.0),
+    ]
+    result = Simulation(jobs, GreedyFifo(), cluster4).run()
+    by_id = {j.job_id: j for j in result.jobs}
+    assert by_id[2].start_time == 1e6
+    assert result.sim_end_time == pytest.approx(1e6 + 10.0)
+
+
+def test_hooks_called_in_order(cluster4):
+    calls: list[tuple[str, int]] = []
+
+    class Hooked(GreedyFifo):
+        def on_start(self, job, now):
+            calls.append(("start", job.job_id))
+
+        def on_finish(self, job, now):
+            calls.append(("finish", job.job_id))
+
+    jobs = [
+        make_job(job_id=1, submit=0.0, nodes=4, runtime=10.0),
+        make_job(job_id=2, submit=1.0, nodes=4, runtime=10.0),
+    ]
+    Simulation(jobs, Hooked(), cluster4).run()
+    assert calls == [
+        ("start", 1),
+        ("finish", 1),
+        ("start", 2),
+        ("finish", 2),
+    ]
+
+
+def test_many_simultaneous_arrivals_one_decision(cluster4):
+    decisions = []
+
+    class Counting(GreedyFifo):
+        def decide(self, now, waiting, running, cluster):
+            decisions.append((now, len(waiting)))
+            return super().decide(now, waiting, running, cluster)
+
+    jobs = [make_job(job_id=i, submit=0.0, nodes=1, runtime=10.0) for i in range(4)]
+    Simulation(jobs, Counting(), cluster4).run()
+    # One decision at t=0 sees all four arrivals batched together.
+    assert decisions[0] == (0.0, 4)
+
+
+def test_default_window_spans_submissions(cluster4):
+    jobs = [
+        make_job(job_id=1, submit=5.0, nodes=1, runtime=10.0),
+        make_job(job_id=2, submit=100.0, nodes=1, runtime=10.0),
+    ]
+    sim = Simulation(jobs, GreedyFifo(), cluster4)
+    assert sim.window == (5.0, 101.0)
+
+
+def test_reset_between_runs_allows_policy_reuse(cluster4):
+    policy = GreedyFifo()
+    jobs1 = [make_job(job_id=1, submit=0.0, nodes=1, runtime=10.0)]
+    jobs2 = [make_job(job_id=1, submit=0.0, nodes=1, runtime=10.0)]
+    r1 = Simulation(jobs1, policy, cluster4).run()
+    r2 = Simulation(jobs2, policy, cluster4).run()
+    assert len(r1.jobs) == len(r2.jobs) == 1
+    assert r1.jobs[0].start_time == r2.jobs[0].start_time
+
+
+def test_job_state_reset_on_simulation_start(cluster4):
+    # Jobs carrying stale lifecycle state are cleaned before the run.
+    job = make_job(job_id=1, submit=0.0, nodes=1, runtime=10.0)
+    job.state = JobState.COMPLETED
+    job.start_time = 999.0
+    job.end_time = 1009.0
+    result = Simulation([job], GreedyFifo(), cluster4).run()
+    assert result.jobs[0].start_time == 0.0
+
+
+def test_zero_length_measurement_edge(cluster4):
+    jobs = [make_job(job_id=1, submit=0.0, nodes=1, runtime=10.0)]
+    # Window entirely after the workload: time-averages are zero, and no
+    # jobs land in the window.
+    result = Simulation(jobs, GreedyFifo(), cluster4, window=(100.0, 200.0)).run()
+    assert result.avg_queue_length == 0.0
+    assert result.utilization == 0.0
+    assert result.jobs_in_window() == []
+
+
+def test_heavy_contention_decision_count(cluster4):
+    jobs = [
+        make_job(job_id=i, submit=float(i), nodes=4, runtime=HOUR) for i in range(5)
+    ]
+    result = Simulation(jobs, GreedyFifo(), cluster4).run()
+    # One decision per distinct event time: 5 arrivals + 5 finishes, with
+    # finish times colliding with nothing.
+    assert result.decision_count == 10

@@ -1,0 +1,120 @@
+"""Tests for requested-runtime (user estimate) models."""
+
+import pytest
+
+from repro.util.timeunits import HOUR, MINUTE
+from repro.util.rng import RngStream
+from repro.workloads.estimates import (
+    AccurateEstimates,
+    MenuEstimates,
+    UniformFactorEstimates,
+    apply_estimates,
+)
+from repro.workloads.synthetic import generate_month
+
+
+@pytest.fixture(scope="module")
+def month():
+    return generate_month("2003-10", seed=9, scale=0.05)
+
+
+def _rng():
+    return RngStream(0, "test-estimates")
+
+
+def test_accurate_is_identity():
+    model = AccurateEstimates()
+    assert model.requested(HOUR, 12 * HOUR, _rng()) == HOUR
+
+
+def test_uniform_factor_bounds():
+    model = UniformFactorEstimates(max_factor=5.0)
+    rng = _rng()
+    for _ in range(200):
+        r = model.requested(HOUR, 12 * HOUR, rng)
+        assert HOUR <= r <= 5 * HOUR
+
+
+def test_uniform_factor_clamps_to_limit():
+    model = UniformFactorEstimates(max_factor=10.0)
+    rng = _rng()
+    for _ in range(50):
+        assert model.requested(10 * HOUR, 12 * HOUR, rng) <= 12 * HOUR
+
+
+def test_uniform_factor_rejects_below_one():
+    with pytest.raises(ValueError):
+        UniformFactorEstimates(max_factor=0.5)
+
+
+def test_menu_values_are_round():
+    model = MenuEstimates(exact_prob=0.0)
+    rng = _rng()
+    menu = set(model._menu(12 * HOUR))
+    for runtime in (90.0, 10 * MINUTE, HOUR, 3.7 * HOUR):
+        for _ in range(50):
+            r = model.requested(runtime, 12 * HOUR, rng)
+            assert r in menu
+            assert r >= runtime
+
+
+def test_menu_exact_prob_one_gives_accurate():
+    model = MenuEstimates(exact_prob=1.0)
+    rng = _rng()
+    assert model.requested(HOUR * 1.234, 12 * HOUR, rng) == HOUR * 1.234
+
+
+def test_menu_validation():
+    with pytest.raises(ValueError):
+        MenuEstimates(exact_prob=1.5)
+    with pytest.raises(ValueError):
+        MenuEstimates(max_factor=0.0)
+
+
+def test_apply_estimates_preserves_everything_but_R(month):
+    out = apply_estimates(month, MenuEstimates(), seed=1)
+    assert len(out.jobs) == len(month.jobs)
+    for a, b in zip(month.jobs, out.jobs):
+        assert b.submit_time == a.submit_time
+        assert b.nodes == a.nodes
+        assert b.runtime == a.runtime
+        assert b.requested_runtime >= b.runtime
+        assert b.requested_runtime <= month.cluster.limits.max_runtime
+    assert out.meta["estimates"] == "menu"
+
+
+def test_apply_estimates_deterministic(month):
+    a = apply_estimates(month, MenuEstimates(), seed=1)
+    b = apply_estimates(month, MenuEstimates(), seed=1)
+    assert [j.requested_runtime for j in a.jobs] == [
+        j.requested_runtime for j in b.jobs
+    ]
+    c = apply_estimates(month, MenuEstimates(), seed=2)
+    assert [j.requested_runtime for j in a.jobs] != [
+        j.requested_runtime for j in c.jobs
+    ]
+
+
+def test_estimates_actually_inaccurate(month):
+    out = apply_estimates(month, MenuEstimates(exact_prob=0.1), seed=1)
+    overestimates = sum(
+        1 for j in out.jobs if j.requested_runtime > j.runtime * 1.01
+    )
+    assert overestimates > len(out.jobs) / 2
+
+
+def test_pipeline_determinism_generate_scale_estimate():
+    """The full workload pipeline is deterministic end to end."""
+    from repro.workloads.scaling import scale_to_load
+
+    def build():
+        w = generate_month("2003-11", seed=13, scale=0.05)
+        w = scale_to_load(w, 0.9)
+        return apply_estimates(w, MenuEstimates(), seed=13)
+
+    a, b = build(), build()
+    assert [(j.submit_time, j.nodes, j.runtime, j.requested_runtime, j.user)
+            for j in a.jobs] == [
+        (j.submit_time, j.nodes, j.runtime, j.requested_runtime, j.user)
+        for j in b.jobs
+    ]

@@ -1,0 +1,48 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.simulator.events import EventKind, EventQueue
+
+
+def test_pops_in_time_order():
+    q = EventQueue()
+    q.push(5.0, EventKind.ARRIVAL, "a")
+    q.push(1.0, EventKind.ARRIVAL, "b")
+    q.push(3.0, EventKind.FINISH, "c")
+    assert [q.pop().payload for _ in range(3)] == ["b", "c", "a"]
+
+
+def test_ties_break_by_insertion_order():
+    q = EventQueue()
+    q.push(1.0, EventKind.ARRIVAL, "first")
+    q.push(1.0, EventKind.FINISH, "second")
+    q.push(1.0, EventKind.ARRIVAL, "third")
+    assert [q.pop().payload for _ in range(3)] == ["first", "second", "third"]
+
+
+def test_pop_simultaneous_batches_equal_times():
+    q = EventQueue()
+    q.push(1.0, EventKind.ARRIVAL, "a")
+    q.push(1.0, EventKind.FINISH, "b")
+    q.push(2.0, EventKind.ARRIVAL, "c")
+    batch = q.pop_simultaneous()
+    assert [e.payload for e in batch] == ["a", "b"]
+    assert len(q) == 1
+    assert q.peek_time() == 2.0
+
+
+def test_pop_empty_raises():
+    q = EventQueue()
+    with pytest.raises(IndexError):
+        q.pop()
+    with pytest.raises(IndexError):
+        q.pop_simultaneous()
+    assert q.peek_time() is None
+
+
+def test_bool_and_len():
+    q = EventQueue()
+    assert not q
+    q.push(0.0, EventKind.ARRIVAL)
+    assert q and len(q) == 1

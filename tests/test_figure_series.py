@@ -1,0 +1,89 @@
+"""Unit tests for FigureSeries assembly and rendering (no simulations)."""
+
+import pytest
+
+from repro.experiments.figures import FigureSeries, _comparison_panels
+from repro.experiments.runner import PolicyRun
+from repro.metrics.measures import JobMetrics
+from repro.util.timeunits import HOUR
+
+from tests.conftest import make_job
+
+
+def _fake_run(avg_wait, max_wait, slowdown, waits_hours=()):
+    jobs = []
+    for i, wh in enumerate(waits_hours):
+        job = make_job(job_id=i, submit=0.0, runtime=HOUR)
+        job.start_time = wh * HOUR
+        job.end_time = job.start_time + HOUR
+        jobs.append(job)
+    metrics = JobMetrics(
+        n_jobs=max(len(jobs), 1),
+        avg_wait_hours=avg_wait,
+        max_wait_hours=max_wait,
+        p98_wait_hours=max_wait,
+        avg_bounded_slowdown=slowdown,
+        max_bounded_slowdown=slowdown,
+        avg_turnaround_hours=avg_wait + 1,
+        total_demand_node_hours=1.0,
+    )
+    return PolicyRun(
+        workload_name="m",
+        policy_name="p",
+        offered_load=0.8,
+        metrics=metrics,
+        avg_queue_length=1.0,
+        utilization=0.8,
+        jobs=jobs,
+    )
+
+
+def test_figure_series_render_layout():
+    fig = FigureSeries(
+        figure="Figure X",
+        title="demo",
+        row_labels=["a", "b"],
+        panels={"metric": {"P1": [1.0, 2.0], "P2": [3.0, 4.0]}},
+        notes=["a note"],
+    )
+    text = fig.render()
+    assert text.startswith("== Figure X: demo ==")
+    assert "a note" in text
+    assert "P1" in text and "4.00" in text
+
+
+def test_figure_series_text_block():
+    fig = FigureSeries(
+        figure="T", title="t", row_labels=[], panels={}, text="BODY"
+    )
+    assert "BODY" in fig.render()
+
+
+def test_comparison_panels_basic_metrics():
+    runs = {
+        "FCFS-BF": [_fake_run(1.0, 10.0, 5.0)],
+        "LXF-BF": [_fake_run(0.5, 20.0, 2.0)],
+    }
+    panels = _comparison_panels(runs)
+    assert panels["avg wait (h)"]["FCFS-BF"] == [1.0]
+    assert panels["max wait (h)"]["LXF-BF"] == [20.0]
+    assert panels["avg bounded slowdown"]["FCFS-BF"] == [5.0]
+    assert "avg queue length" not in panels
+
+
+def test_comparison_panels_excessive_uses_fcfs_reference():
+    # FCFS run's max wait is 10 h; the other policy has a 15 h waiter, so
+    # it accrues 5 h of excess against the FCFS-max threshold.
+    runs = {
+        "FCFS-BF": [_fake_run(1.0, 10.0, 5.0, waits_hours=(1, 10))],
+        "DDS/lxf/dynB": [_fake_run(1.0, 15.0, 2.0, waits_hours=(1, 15))],
+        "LXF-BF": [_fake_run(1.0, 12.0, 3.0, waits_hours=(1, 12))],
+    }
+    panels = _comparison_panels(runs, with_excessive=True, with_queue=True)
+    e_max = panels["total excessive wait vs FCFS-BF max (h)"]
+    assert e_max["FCFS-BF"][0] == pytest.approx(0.0)
+    assert e_max["DDS/lxf/dynB"][0] == pytest.approx(5.0)
+    assert e_max["LXF-BF"][0] == pytest.approx(2.0)
+    counts = panels["# jobs with excessive wait vs FCFS-BF max"]
+    assert counts["DDS/lxf/dynB"][0] == 1.0
+    assert "avg queue length" in panels

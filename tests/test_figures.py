@@ -1,0 +1,119 @@
+"""Smoke tests for the per-figure reproduction functions.
+
+Run at a deliberately tiny scale: the goal is structural correctness of
+every figure function (panels present, labels right, values finite), not
+the paper's shapes — those are asserted statistically in
+``test_integration.py`` and measured by the benchmarks.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import (
+    fig1_tree,
+    fig2_fixed_bound_sensitivity,
+    fig3_original_load,
+    fig4_high_load,
+    fig5_job_classes,
+    fig6_node_limit,
+    fig7_algorithms,
+    fig8_requested_runtimes,
+    table3_job_mix,
+    table4_runtimes,
+)
+
+TINY = ExperimentScale(job_scale=0.02, node_limit_factor=0.02, seed=7)
+TWO_MONTHS = ("2003-06", "2003-07")
+
+
+def _check_panels(fig, n_rows):
+    for panel, series in fig.panels.items():
+        for name, values in series.items():
+            assert len(values) == n_rows, (panel, name)
+            assert all(math.isfinite(v) for v in values), (panel, name)
+
+
+def test_fig1_tree_text():
+    fig = fig1_tree()
+    text = fig.render()
+    assert "1,307,674,368,000" in text.replace(" ", ",")
+    assert "0-1-2-3-4" in text
+    assert "DDS visit order" in text
+
+
+def test_table3_and_table4_render():
+    t3 = table3_job_mix(TINY)
+    t4 = table4_runtimes(TINY)
+    assert "#jobs" in t3.render()
+    assert "T <= 1 hour" in t4.render()
+
+
+def test_fig2_structure():
+    fig = fig2_fixed_bound_sensitivity(TINY, omegas_hours=(50.0, 300.0))
+    assert set(fig.panels) == {"max wait (h)", "avg bounded slowdown"}
+    assert set(fig.panels["max wait (h)"]) == {"w=50h", "w=300h"}
+    assert len(fig.row_labels) == 10
+    _check_panels(fig, 10)
+
+
+def test_fig3_structure():
+    fig = fig3_original_load(TINY)
+    assert set(fig.panels) == {
+        "avg wait (h)",
+        "max wait (h)",
+        "avg bounded slowdown",
+    }
+    for series in fig.panels.values():
+        assert set(series) == {"FCFS-BF", "LXF-BF", "DDS/lxf/dynB"}
+    _check_panels(fig, 10)
+
+
+def test_fig4_has_excessive_panels():
+    fig = fig4_high_load(TINY)
+    assert "avg queue length" in fig.panels
+    assert "total excessive wait vs FCFS-BF max (h)" in fig.panels
+    assert "total excessive wait vs FCFS-BF 98th pct (h)" in fig.panels
+    assert "# jobs with excessive wait vs FCFS-BF max" in fig.panels
+    assert "avg excessive wait vs FCFS-BF max (h)" in fig.panels
+    _check_panels(fig, 10)
+    # FCFS-BF has zero total excessive wait w.r.t. its own max, per month.
+    fcfs = fig.panels["total excessive wait vs FCFS-BF max (h)"]["FCFS-BF"]
+    assert all(v == pytest.approx(0.0, abs=1e-9) for v in fcfs)
+
+
+def test_fig5_renders_three_grids():
+    fig = fig5_job_classes(TINY)
+    text = fig.render()
+    assert text.count("avg wait (h) per N x T class") == 3
+    assert "FCFS-BF" in text and "DDS/lxf/dynB" in text
+
+
+def test_fig6_structure():
+    fig = fig6_node_limit(TINY, paper_limits=(1000, 4000))
+    assert len(fig.row_labels) == 2
+    assert all(label.startswith("L=") for label in fig.row_labels)
+    _check_panels(fig, 2)
+    # Backfill baselines are constant across L.
+    for panel in fig.panels.values():
+        assert len(set(panel["FCFS-BF"])) == 1
+        assert len(set(panel["LXF-BF"])) == 1
+
+
+def test_fig7_structure():
+    fig = fig7_algorithms(TINY)
+    for series in fig.panels.values():
+        assert set(series) == {"DDS/fcfs/dynB", "DDS/lxf/dynB", "LDS/lxf/dynB"}
+    _check_panels(fig, 10)
+
+
+def test_fig8_has_four_panels():
+    fig = fig8_requested_runtimes(TINY)
+    assert set(fig.panels) == {
+        "avg wait (h)",
+        "max wait (h)",
+        "avg bounded slowdown",
+        "total excessive wait vs FCFS-BF max (h)",
+    }
+    _check_panels(fig, 10)

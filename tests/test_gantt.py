@@ -1,0 +1,78 @@
+"""Tests for schedule text rendering."""
+
+import pytest
+
+from repro.metrics.gantt import describe_schedule, render_gantt, utilization_sparkline
+from repro.util.timeunits import HOUR
+
+from tests.conftest import make_job
+
+
+def _schedule():
+    a = make_job(job_id=1, submit=0.0, nodes=4, runtime=100.0)
+    a.start_time, a.end_time = 0.0, 100.0
+    b = make_job(job_id=2, submit=10.0, nodes=2, runtime=50.0)
+    b.start_time, b.end_time = 100.0, 150.0
+    return [a, b]
+
+
+def test_gantt_rows_and_markers():
+    text = render_gantt(_schedule(), capacity=4, width=30)
+    lines = text.splitlines()
+    assert len(lines) == 4  # header + 2 jobs + legend
+    job2 = next(line for line in lines if line.strip().startswith("2x2"))
+    assert "." in job2  # queued span visible
+    assert "#" in job2
+    # Job 1 starts immediately: no queued dots.
+    job1 = next(line for line in lines if line.strip().startswith("1x4"))
+    assert "." not in job1.split("|")[1]
+
+
+def test_gantt_respects_window():
+    text = render_gantt(_schedule(), capacity=4, width=20, window=(0.0, 100.0))
+    # Job 2 starts at t=100, outside the window: its bar is clipped to
+    # the final column but the render must not crash.
+    assert "span=1m40s" in text
+
+
+def test_gantt_validation():
+    with pytest.raises(ValueError, match="no started jobs"):
+        render_gantt([make_job()], capacity=4)
+    with pytest.raises(ValueError, match="width"):
+        render_gantt(_schedule(), capacity=4, width=5)
+    with pytest.raises(ValueError, match="window"):
+        render_gantt(_schedule(), capacity=4, window=(5.0, 5.0))
+
+
+def test_sparkline_levels():
+    spark = utilization_sparkline(_schedule(), capacity=4, width=10)
+    assert len(spark) == 10
+    # First half: 4/4 nodes busy (full block); second half: 2/4.
+    assert spark[0] == "█"
+    assert spark[-1] not in ("█", " ")
+
+
+def test_sparkline_empty_raises():
+    with pytest.raises(ValueError):
+        utilization_sparkline([make_job()], capacity=4)
+
+
+def test_describe_schedule_combines_everything():
+    text = describe_schedule(_schedule(), capacity=4)
+    assert "util:" in text
+    assert "avg wait" in text
+    assert "legend" in text
+
+
+def test_render_real_simulation():
+    from repro.backfill import fcfs_backfill
+    from repro.simulator.engine import Simulation
+    from tests.conftest import small_cluster
+
+    jobs = [
+        make_job(job_id=i, submit=i * 400.0, nodes=(i % 4) + 1, runtime=HOUR)
+        for i in range(12)
+    ]
+    result = Simulation(jobs, fcfs_backfill(), small_cluster(4)).run()
+    text = describe_schedule(result.jobs, capacity=4)
+    assert text.count("#") > 10

@@ -1,0 +1,123 @@
+"""End-to-end integration tests asserting the paper's qualitative results.
+
+These use small synthetic months (fast) but assert the *shapes* the paper
+reports: the backfill trade-off, DDS/lxf/dynB's best-of-both behaviour,
+the node-limit effect on the hard month, and the branching-heuristic
+dominance.  Statistical, not per-seed flaky: each assertion aggregates
+over months or uses a month where the effect is strong.
+"""
+
+import pytest
+
+from repro.backfill import fcfs_backfill, lxf_backfill
+from repro.core.scheduler import make_policy
+from repro.experiments.runner import simulate
+from repro.metrics.excessive import reference_thresholds
+from repro.util.timeunits import HOUR
+from repro.workloads.scaling import scale_to_load
+from repro.workloads.synthetic import generate_month
+
+SEED = 2005
+SCALE = 0.1
+# Months with real contention at this scale — where the paper's effects
+# are strong enough to assert deterministically.
+MONTHS = ("2003-07", "2003-08", "2004-01")
+
+
+@pytest.fixture(scope="module")
+def high_load_months():
+    return {
+        name: scale_to_load(generate_month(name, seed=SEED, scale=SCALE), 0.9)
+        for name in MONTHS
+    }
+
+
+@pytest.fixture(scope="module")
+def runs(high_load_months):
+    out = {}
+    for name, workload in high_load_months.items():
+        out[name] = {
+            "fcfs": simulate(workload, fcfs_backfill()),
+            "lxf": simulate(workload, lxf_backfill()),
+            "dds": simulate(workload, make_policy("dds", "lxf", node_limit=150)),
+        }
+    return out
+
+
+def test_backfill_tradeoff_across_months(runs):
+    """LXF-BF wins avg slowdown, FCFS-BF wins max wait (aggregate)."""
+    slow_wins = sum(
+        1
+        for r in runs.values()
+        if r["lxf"].metrics.avg_bounded_slowdown
+        < r["fcfs"].metrics.avg_bounded_slowdown
+    )
+    assert slow_wins >= 2
+    fcfs_max_total = sum(r["fcfs"].metrics.max_wait_hours for r in runs.values())
+    lxf_max_total = sum(r["lxf"].metrics.max_wait_hours for r in runs.values())
+    assert fcfs_max_total < lxf_max_total
+
+
+def test_dds_close_to_fcfs_max_wait(runs):
+    """DDS/lxf/dynB's max wait tracks FCFS-BF, not LXF-BF's blow-ups."""
+    for name, r in runs.items():
+        fcfs_max = r["fcfs"].metrics.max_wait_hours
+        lxf_max = r["lxf"].metrics.max_wait_hours
+        dds_max = r["dds"].metrics.max_wait_hours
+        # Strictly better than the bad baseline whenever there is a gap.
+        if lxf_max > fcfs_max * 1.3:
+            assert dds_max < lxf_max, name
+
+
+def test_dds_close_to_lxf_slowdown(runs):
+    """DDS/lxf/dynB's avg slowdown is far closer to LXF-BF than FCFS-BF."""
+    better = 0
+    for r in runs.values():
+        fcfs_s = r["fcfs"].metrics.avg_bounded_slowdown
+        lxf_s = r["lxf"].metrics.avg_bounded_slowdown
+        dds_s = r["dds"].metrics.avg_bounded_slowdown
+        if fcfs_s > lxf_s and dds_s < (fcfs_s + lxf_s) / 2:
+            better += 1
+    assert better >= 2
+
+
+def test_dds_low_excessive_wait(runs):
+    """DDS/lxf/dynB's total excessive wait w.r.t. FCFS-BF's max is lower
+    than LXF-BF's (Figure 4(f) shape)."""
+    dds_total = 0.0
+    lxf_total = 0.0
+    for r in runs.values():
+        t_max, _ = reference_thresholds(r["fcfs"].jobs)
+        dds_total += r["dds"].excessive(t_max).total_hours
+        lxf_total += r["lxf"].excessive(t_max).total_hours
+    assert dds_total < lxf_total
+
+
+def test_node_limit_improves_hard_month():
+    """More search budget reduces excessive wait on the backlogged month
+    (Figure 6 shape)."""
+    workload = scale_to_load(generate_month("2004-01", seed=SEED, scale=SCALE), 0.9)
+    fcfs_run = simulate(workload, fcfs_backfill())
+    t_max, _ = reference_thresholds(fcfs_run.jobs)
+    small = simulate(workload, make_policy("dds", "lxf", node_limit=30))
+    large = simulate(workload, make_policy("dds", "lxf", node_limit=600))
+    assert (
+        large.excessive(t_max).total_hours <= small.excessive(t_max).total_hours
+    )
+
+
+def test_fcfs_branching_behaves_like_fcfs_backfill():
+    """DDS/fcfs/dynB has a worse avg slowdown than DDS/lxf/dynB (Figure 7)."""
+    workload = scale_to_load(generate_month("2003-07", seed=SEED, scale=SCALE), 0.9)
+    fcfs_h = simulate(workload, make_policy("dds", "fcfs", node_limit=150))
+    lxf_h = simulate(workload, make_policy("dds", "lxf", node_limit=150))
+    assert lxf_h.metrics.avg_bounded_slowdown < fcfs_h.metrics.avg_bounded_slowdown
+
+
+def test_dynamic_bound_beats_tiny_fixed_bound_on_max_wait():
+    """omega = 0 collapses the first level into average-wait minimization
+    and blows up the maximum wait (the paper's omega sensitivity)."""
+    workload = scale_to_load(generate_month("2003-07", seed=SEED, scale=SCALE), 0.9)
+    dyn = simulate(workload, make_policy("dds", "lxf", node_limit=150))
+    zero = simulate(workload, make_policy("dds", "lxf", bound=0.0, node_limit=150))
+    assert dyn.metrics.max_wait_hours <= zero.metrics.max_wait_hours

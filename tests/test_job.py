@@ -1,0 +1,83 @@
+"""Unit tests for the job model."""
+
+import pytest
+
+from repro.simulator.job import Job, JobState
+from repro.util.timeunits import HOUR, MINUTE
+
+from tests.conftest import make_job
+
+
+def test_defaults_requested_to_runtime():
+    job = make_job(runtime=2 * HOUR)
+    assert job.requested_runtime == 2 * HOUR
+
+
+def test_rejects_underestimates():
+    with pytest.raises(ValueError, match="requested_runtime"):
+        Job(job_id=1, submit_time=0, nodes=1, runtime=100, requested_runtime=50)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(nodes=0),
+        dict(runtime=0),
+        dict(submit=-1),
+    ],
+)
+def test_rejects_invalid_fields(kwargs):
+    with pytest.raises(ValueError):
+        make_job(**kwargs)
+
+
+def test_scheduler_runtime_selects_T_or_R():
+    job = make_job(runtime=HOUR, requested=3 * HOUR)
+    assert job.scheduler_runtime(True) == HOUR
+    assert job.scheduler_runtime(False) == 3 * HOUR
+
+
+def test_wait_and_turnaround():
+    job = make_job(submit=100, runtime=50)
+    with pytest.raises(ValueError):
+        _ = job.wait_time
+    job.start_time = 150
+    assert job.wait_time == 50
+    with pytest.raises(ValueError):
+        _ = job.turnaround_time
+    job.end_time = 200
+    assert job.turnaround_time == 100
+
+
+def test_current_wait_clamps_before_submit():
+    job = make_job(submit=100)
+    assert job.current_wait(50) == 0
+    assert job.current_wait(160) == 60
+
+
+def test_bounded_slowdown_long_job_is_plain_slowdown():
+    job = make_job(submit=0, runtime=2 * HOUR)
+    job.start_time = 2 * HOUR  # waited 2h
+    assert job.bounded_slowdown() == pytest.approx(2.0)
+
+
+def test_bounded_slowdown_short_job_uses_one_minute_floor():
+    # The paper: bounded slowdown of a sub-minute job is 1 + wait in minutes.
+    job = make_job(submit=0, runtime=10)  # 10-second job
+    job.start_time = 5 * MINUTE
+    assert job.bounded_slowdown() == pytest.approx(1 + 5)
+
+
+def test_slowdown_if_started_at_matches_bounded_slowdown():
+    job = make_job(submit=0, runtime=30 * MINUTE)
+    job.start_time = HOUR
+    assert job.slowdown_if_started_at(HOUR) == pytest.approx(job.bounded_slowdown())
+
+
+def test_area_is_nodes_times_runtime():
+    job = make_job(nodes=16, runtime=3 * HOUR)
+    assert job.area == 16 * 3 * HOUR
+
+
+def test_initial_state_pending():
+    assert make_job().state is JobState.PENDING

@@ -1,0 +1,121 @@
+"""Tests for the performance measures (wait, slowdown, excessive wait)."""
+
+import pytest
+
+from repro.metrics.excessive import excessive_wait_stats, reference_thresholds
+from repro.metrics.measures import compute_metrics, wait_percentile
+from repro.util.timeunits import HOUR, MINUTE
+
+from tests.conftest import make_job
+
+
+def _completed(submit, start, runtime, nodes=1, job_id=None):
+    job = make_job(job_id=job_id, submit=submit, nodes=nodes, runtime=runtime)
+    job.start_time = start
+    job.end_time = start + runtime
+    return job
+
+
+def test_compute_metrics_basic():
+    jobs = [
+        _completed(0.0, HOUR, HOUR),  # wait 1h, slowdown 2
+        _completed(0.0, 3 * HOUR, HOUR),  # wait 3h, slowdown 4
+    ]
+    m = compute_metrics(jobs)
+    assert m.n_jobs == 2
+    assert m.avg_wait_hours == pytest.approx(2.0)
+    assert m.max_wait_hours == pytest.approx(3.0)
+    assert m.avg_bounded_slowdown == pytest.approx(3.0)
+    assert m.max_bounded_slowdown == pytest.approx(4.0)
+    assert m.avg_turnaround_hours == pytest.approx(3.0)
+    assert m.total_demand_node_hours == pytest.approx(2.0)
+
+
+def test_compute_metrics_rejects_empty_and_unstarted():
+    with pytest.raises(ValueError):
+        compute_metrics([])
+    with pytest.raises(ValueError):
+        compute_metrics([make_job()])
+
+
+def test_short_jobs_use_slowdown_floor():
+    job = _completed(0.0, 2 * MINUTE, 1.0)  # 1-second job, waited 2 min
+    m = compute_metrics([job])
+    assert m.avg_bounded_slowdown == pytest.approx(3.0)  # 1 + 2 minutes
+
+
+def test_wait_percentile():
+    jobs = [_completed(0.0, i * HOUR, HOUR) for i in range(101)]
+    assert wait_percentile(jobs, 98) == pytest.approx(98.0)
+    assert wait_percentile(jobs, 50) == pytest.approx(50.0)
+    with pytest.raises(ValueError):
+        wait_percentile(jobs, 150)
+    with pytest.raises(ValueError):
+        wait_percentile([], 50)
+
+
+def test_as_dict_roundtrip():
+    jobs = [_completed(0.0, HOUR, HOUR)]
+    d = compute_metrics(jobs).as_dict()
+    assert d["n_jobs"] == 1
+    assert set(d) >= {"avg_wait_hours", "max_wait_hours", "p98_wait_hours"}
+
+
+# ----------------------------------------------------------------------
+# Excessive wait
+# ----------------------------------------------------------------------
+def test_excessive_wait_counts_only_beyond_threshold():
+    jobs = [
+        _completed(0.0, HOUR, HOUR),  # wait 1h: no excess vs 2h
+        _completed(0.0, 3 * HOUR, HOUR),  # wait 3h: 1h excess
+        _completed(0.0, 5 * HOUR, HOUR),  # wait 5h: 3h excess
+    ]
+    stats = excessive_wait_stats(jobs, 2 * HOUR)
+    assert stats.count == 2
+    assert stats.total_hours == pytest.approx(4.0)
+    assert stats.avg_hours == pytest.approx(2.0)
+    assert stats.threshold_hours == pytest.approx(2.0)
+
+
+def test_excessive_wait_zero_when_all_within():
+    jobs = [_completed(0.0, HOUR, HOUR)]
+    stats = excessive_wait_stats(jobs, 2 * HOUR)
+    assert stats.count == 0
+    assert stats.total_hours == 0.0
+    assert stats.avg_hours == 0.0
+
+
+def test_excessive_wait_rejects_negative_threshold():
+    with pytest.raises(ValueError):
+        excessive_wait_stats([], -1.0)
+
+
+def test_zero_excess_wrt_own_max_wait():
+    """Any policy has zero total excessive wait w.r.t. its own maximum wait
+    (the paper notes this for FCFS-backfill)."""
+    jobs = [_completed(0.0, i * HOUR, HOUR) for i in range(1, 6)]
+    max_wait, _ = reference_thresholds(jobs)
+    assert excessive_wait_stats(jobs, max_wait).total_hours == 0.0
+
+
+def test_reference_thresholds():
+    jobs = [_completed(0.0, i * HOUR, HOUR) for i in range(101)]
+    max_wait, p98 = reference_thresholds(jobs)
+    assert max_wait == pytest.approx(100 * HOUR)
+    assert p98 == pytest.approx(98 * HOUR)
+    with pytest.raises(ValueError):
+        reference_thresholds([])
+
+
+def test_wait_distribution():
+    from repro.metrics.measures import wait_distribution
+
+    jobs = [_completed(0.0, i * HOUR, HOUR) for i in range(101)]
+    dist = wait_distribution(jobs, percentiles=(50, 98, 100))
+    assert dist[50] == pytest.approx(50.0)
+    assert dist[98] == pytest.approx(98.0)
+    assert dist[100] == pytest.approx(100.0)
+    with pytest.raises(ValueError):
+        wait_distribution([])
+    with pytest.raises(ValueError):
+        wait_distribution(jobs, percentiles=(150,))

@@ -1,0 +1,78 @@
+"""Tests for custom workload calibrations (what-if mixes)."""
+
+import pytest
+
+from repro.workloads.calibration import MONTHS
+from repro.workloads.mixes import make_calibration, scaled_mix, uniform_calibration
+from repro.workloads.stats import job_mix_table
+from repro.workloads.synthetic import generate_month
+
+
+def test_make_calibration_validates_like_the_real_ones():
+    base = MONTHS["2003-06"]
+    cal = make_calibration(
+        name="custom",
+        total_jobs=500,
+        load=0.8,
+        jobs_frac=base.jobs_frac,
+        demand_frac=base.demand_frac,
+        short_frac_by_group=base.short_frac,
+        long_frac_by_group=base.long_frac,
+    )
+    assert cal.name == "custom"
+    with pytest.raises(ValueError):
+        make_calibration(
+            name="bad",
+            total_jobs=500,
+            load=0.8,
+            jobs_frac=(1.0,) * 8,  # sums to 8
+            demand_frac=base.demand_frac,
+            short_frac_by_group=base.short_frac,
+            long_frac_by_group=base.long_frac,
+        )
+
+
+def test_scaled_mix_shifts_and_renormalizes():
+    derived = scaled_mix("2003-07", "jul-xl", demand_shift={7: 2.0})
+    base = MONTHS["2003-07"]
+    assert derived.demand_frac[7] > base.demand_frac[7]
+    assert sum(derived.demand_frac) == pytest.approx(1.0, abs=0.01)
+    # Non-shifted structure carries over.
+    assert derived.jobs_frac == base.jobs_frac
+    assert derived.limits == base.limits
+
+
+def test_scaled_mix_validation():
+    with pytest.raises(ValueError, match="range index"):
+        scaled_mix("2003-07", "x", demand_shift={99: 2.0})
+    with pytest.raises(ValueError, match=">= 0"):
+        scaled_mix("2003-07", "x", demand_shift={0: -1.0})
+    with pytest.raises(ValueError, match="zeroed"):
+        scaled_mix("2003-07", "x", demand_shift={i: 0.0 for i in range(8)})
+
+
+def test_scaled_mix_load_override():
+    derived = scaled_mix("2003-06", "busy-june", load=0.95)
+    assert derived.load == 0.95
+
+
+def test_uniform_calibration_generates():
+    cal = uniform_calibration(total_jobs=300)
+    workload = generate_month(cal, seed=1, scale=1.0)
+    assert len(workload.jobs_in_window()) == 300
+    table = job_mix_table(workload)
+    # A flat mix: every node range holds roughly 1/8 of the jobs.
+    for frac in table.jobs_frac:
+        assert frac == pytest.approx(1 / 8, abs=0.06)
+
+
+def test_what_if_mix_end_to_end():
+    """The advertised workflow: derive a heavier-large-jobs July and
+    simulate it."""
+    from repro.backfill import fcfs_backfill
+    from repro.experiments.runner import simulate
+
+    derived = scaled_mix("2003-07", "jul-xl", demand_shift={7: 2.0})
+    workload = generate_month(derived, seed=1, scale=0.05)
+    run = simulate(workload, fcfs_backfill())
+    assert run.metrics.n_jobs == len(workload.jobs_in_window())

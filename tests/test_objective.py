@@ -1,0 +1,101 @@
+"""Unit tests for the hierarchical two-level objective."""
+
+import pytest
+
+from repro.core.objective import (
+    DynamicBound,
+    FixedBound,
+    ObjectiveConfig,
+    ScheduleScore,
+)
+from repro.util.timeunits import HOUR, MINUTE
+
+from tests.conftest import make_job
+
+
+def test_fixed_bound_is_constant():
+    bound = FixedBound(50 * HOUR)
+    assert bound.value(0.0, []) == 50 * HOUR
+    assert bound.value(1e9, [make_job()]) == 50 * HOUR
+    assert bound.label == "fixB50h"
+
+
+def test_fixed_bound_rejects_negative():
+    with pytest.raises(ValueError):
+        FixedBound(-1.0)
+
+
+def test_dynamic_bound_tracks_longest_waiter():
+    bound = DynamicBound()
+    jobs = [make_job(submit=100.0), make_job(submit=40.0), make_job(submit=90.0)]
+    assert bound.value(100.0, jobs) == 60.0  # job submitted at 40 waited 60
+    assert bound.value(0.0, []) == 0.0
+    assert bound.label == "dynB"
+
+
+def test_score_lexicographic_order():
+    a = ScheduleScore(0.0, 100.0, 10)
+    b = ScheduleScore(1.0, 1.0, 10)
+    c = ScheduleScore(0.0, 50.0, 10)
+    assert c < a < b
+    assert not a < c
+    assert a == ScheduleScore(0.0, 100.0, 999)  # n_jobs not part of the key
+
+
+def test_score_avg_slowdown():
+    s = ScheduleScore(0.0, 30.0, 10)
+    assert s.avg_slowdown == 3.0
+    assert ScheduleScore(0.0, 0.0, 0).avg_slowdown == 0.0
+
+
+def test_job_terms_excess_and_slowdown():
+    cfg = ObjectiveConfig(bound=FixedBound(HOUR))
+    job = make_job(submit=0.0, runtime=2 * HOUR)
+    # Start after 3h: wait 3h, bound 1h -> excess 2h.
+    excess, slowdown = cfg.job_terms(job, 3 * HOUR, HOUR, job.runtime)
+    assert excess == pytest.approx(2 * HOUR)
+    assert slowdown == pytest.approx((3 * HOUR + 2 * HOUR) / (2 * HOUR))
+
+
+def test_job_terms_no_excess_within_bound():
+    cfg = ObjectiveConfig(bound=FixedBound(HOUR))
+    job = make_job(submit=0.0, runtime=HOUR)
+    excess, _ = cfg.job_terms(job, 0.5 * HOUR, HOUR, job.runtime)
+    assert excess == 0.0
+
+
+def test_job_terms_short_job_slowdown_floor():
+    cfg = ObjectiveConfig(bound=FixedBound(0.0))
+    job = make_job(submit=0.0, runtime=10.0)  # 10-second job
+    _, slowdown = cfg.job_terms(job, 2 * MINUTE, 0.0, job.runtime)
+    assert slowdown == pytest.approx(1 + 2)  # 1 + wait in minutes
+
+
+def test_score_schedule_matches_manual_sum():
+    cfg = ObjectiveConfig(bound=FixedBound(0.0))
+    j1 = make_job(submit=0.0, runtime=HOUR)
+    j2 = make_job(submit=0.0, runtime=HOUR)
+    score = cfg.score_schedule([(j1, 0.0), (j2, HOUR)], now=0.0)
+    assert score.total_excessive_wait == pytest.approx(HOUR)
+    assert score.total_slowdown == pytest.approx(1.0 + 2.0)
+    assert score.n_jobs == 2
+
+
+def test_zero_excess_iff_all_waits_within_bound():
+    cfg = ObjectiveConfig(bound=FixedBound(HOUR))
+    jobs = [make_job(submit=0.0, runtime=HOUR) for _ in range(3)]
+    within = [(j, 0.5 * HOUR) for j in jobs]
+    assert cfg.score_schedule(within, now=0.0, omega=HOUR).total_excessive_wait == 0
+    beyond = within[:2] + [(jobs[2], 1.5 * HOUR)]
+    assert cfg.score_schedule(beyond, now=0.0, omega=HOUR).total_excessive_wait > 0
+
+
+def test_score_schedule_uses_requested_runtime_when_asked():
+    cfg = ObjectiveConfig(bound=FixedBound(0.0))
+    job = make_job(submit=0.0, runtime=HOUR, requested=4 * HOUR)
+    with_actual = cfg.score_schedule([(job, HOUR)], now=0.0, use_actual_runtime=True)
+    with_requested = cfg.score_schedule(
+        [(job, HOUR)], now=0.0, use_actual_runtime=False
+    )
+    # Slowdown denominator grows with R, so requested-runtime slowdown is lower.
+    assert with_requested.total_slowdown < with_actual.total_slowdown

@@ -1,0 +1,243 @@
+"""Tests for runtime prediction (sources and predictors)."""
+
+import pytest
+
+from repro.predict import (
+    ActualRuntimeSource,
+    ClampedPredictor,
+    EwmaPredictor,
+    PredictedRuntimeSource,
+    RecentAveragePredictor,
+    RequestedAsPrediction,
+    RequestedRuntimeSource,
+    resolve_runtime_source,
+)
+from repro.util.timeunits import HOUR, MINUTE
+
+from tests.conftest import make_job
+
+
+# ----------------------------------------------------------------------
+# Sources
+# ----------------------------------------------------------------------
+def test_actual_source():
+    job = make_job(runtime=HOUR, requested=3 * HOUR)
+    src = ActualRuntimeSource()
+    assert src.of(job) == HOUR
+    assert src.is_actual
+    assert src.label == "T"
+
+
+def test_requested_source():
+    job = make_job(runtime=HOUR, requested=3 * HOUR)
+    src = RequestedRuntimeSource()
+    assert src.of(job) == 3 * HOUR
+    assert not src.is_actual
+
+
+def test_resolve_spellings():
+    assert resolve_runtime_source(None).is_actual
+    assert resolve_runtime_source(True).is_actual
+    assert resolve_runtime_source("actual").is_actual
+    assert not resolve_runtime_source(False).is_actual
+    assert not resolve_runtime_source("requested").is_actual
+    custom = PredictedRuntimeSource(RequestedAsPrediction())
+    assert resolve_runtime_source(custom) is custom
+    with pytest.raises(ValueError):
+        resolve_runtime_source("magic")
+
+
+def test_predicted_source_floors_and_learns():
+    predictor = RecentAveragePredictor(k=1)
+    src = PredictedRuntimeSource(predictor, floor=MINUTE)
+    fresh = make_job(job_id=1, runtime=2 * HOUR, requested=4 * HOUR, waiting=True)
+    # No history: falls back to requested runtime.
+    assert src.of(fresh) == 4 * HOUR
+    # A completion teaches the predictor.
+    done = make_job(job_id=2, runtime=HOUR, requested=4 * HOUR)
+    done.user = fresh.user = "alice"
+    src.observe_completion(done, now=0.0)
+    assert src.of(fresh) == HOUR
+    src.reset()
+    assert src.of(fresh) == 4 * HOUR
+
+
+def test_predicted_source_rejects_bad_floor():
+    with pytest.raises(ValueError):
+        PredictedRuntimeSource(RequestedAsPrediction(), floor=0.0)
+
+
+# ----------------------------------------------------------------------
+# Predictors
+# ----------------------------------------------------------------------
+def _job(user, runtime, nodes=1, requested=None):
+    job = make_job(nodes=nodes, runtime=runtime, requested=requested)
+    job.user = user
+    return job
+
+
+def test_recent_average_prefers_same_node_class():
+    p = RecentAveragePredictor(k=2)
+    p.observe(_job("u", HOUR, nodes=1))
+    p.observe(_job("u", 3 * HOUR, nodes=64))
+    # A 1-node job predicts from the 1-node history, not the 64-node one.
+    assert p.predict(_job("u", 999.0, nodes=1, requested=9 * HOUR)) == HOUR
+
+
+def test_recent_average_falls_back_to_user_history():
+    p = RecentAveragePredictor(k=2)
+    p.observe(_job("u", 2 * HOUR, nodes=64))
+    # No 1-node history for u, but user history exists.
+    assert p.predict(_job("u", 1.0, nodes=1, requested=9 * HOUR)) == 2 * HOUR
+
+
+def test_recent_average_falls_back_to_requested():
+    p = RecentAveragePredictor(k=2)
+    assert p.predict(_job("new", 1.0, requested=5 * HOUR)) == 5 * HOUR
+
+
+def test_recent_average_window():
+    p = RecentAveragePredictor(k=2)
+    for runtime in (HOUR, 2 * HOUR, 3 * HOUR):
+        p.observe(_job("u", runtime))
+    # Only the last two observations count: (2h + 3h) / 2.
+    assert p.predict(_job("u", 1.0, requested=9 * HOUR)) == pytest.approx(2.5 * HOUR)
+
+
+def test_recent_average_validates_k():
+    with pytest.raises(ValueError):
+        RecentAveragePredictor(k=0)
+
+
+def test_anonymous_jobs_share_history():
+    p = RecentAveragePredictor(k=1)
+    p.observe(_job(None, HOUR))
+    assert p.predict(_job(None, 1.0, requested=9 * HOUR)) == HOUR
+
+
+def test_ewma_converges():
+    p = EwmaPredictor(alpha=0.5)
+    p.observe(_job("u", 2 * HOUR))
+    p.observe(_job("u", 4 * HOUR))
+    # 0.5*4h + 0.5*2h = 3h.
+    assert p.predict(_job("u", 1.0, requested=9 * HOUR)) == pytest.approx(3 * HOUR)
+
+
+def test_ewma_validates_alpha():
+    with pytest.raises(ValueError):
+        EwmaPredictor(alpha=0.0)
+    with pytest.raises(ValueError):
+        EwmaPredictor(alpha=1.5)
+
+
+def test_clamped_predictor_bounds():
+    class Wild(RequestedAsPrediction):
+        def predict(self, job):
+            return 1e9  # absurd overestimate
+
+    clamped = ClampedPredictor(Wild(), floor=MINUTE)
+    job = _job("u", HOUR, requested=2 * HOUR)
+    assert clamped.predict(job) == 2 * HOUR  # clipped to R
+
+    class Tiny(RequestedAsPrediction):
+        def predict(self, job):
+            return 0.001
+
+    assert ClampedPredictor(Tiny()).predict(job) == 60.0  # clipped to floor
+
+
+def test_reset_clears_history():
+    p = RecentAveragePredictor(k=2)
+    p.observe(_job("u", HOUR))
+    p.reset()
+    assert p.predict(_job("u", 1.0, requested=7 * HOUR)) == 7 * HOUR
+
+
+# ----------------------------------------------------------------------
+# End-to-end: prediction inside a policy
+# ----------------------------------------------------------------------
+def test_policy_with_predictor_completes_and_learns():
+    from repro.core.scheduler import make_policy
+    from repro.experiments.runner import simulate
+    from repro.workloads.synthetic import generate_month
+
+    workload = generate_month("2003-06", seed=3, scale=0.04)
+    predictor = ClampedPredictor(RecentAveragePredictor(k=2))
+    policy = make_policy(
+        "dds",
+        "lxf",
+        node_limit=60,
+        runtime_source=PredictedRuntimeSource(predictor),
+    )
+    assert "[R*=pred]" in policy.name
+    run = simulate(workload, policy)
+    assert run.metrics.n_jobs == len(workload.jobs_in_window())
+
+
+def test_backfill_with_predictor_completes():
+    from repro.backfill import fcfs_backfill
+    from repro.experiments.runner import simulate
+    from repro.workloads.synthetic import generate_month
+
+    workload = generate_month("2003-06", seed=3, scale=0.04)
+    source = PredictedRuntimeSource(RecentAveragePredictor(k=2))
+    run = simulate(workload, fcfs_backfill(runtime_source=source))
+    assert run.metrics.n_jobs == len(workload.jobs_in_window())
+
+
+def test_prediction_beats_requested_on_accuracy():
+    """Mean absolute error of avg-last-2 predictions is below the raw
+    requests' error on a synthetic month with menu estimates."""
+    from repro.workloads.estimates import MenuEstimates, apply_estimates
+    from repro.workloads.synthetic import generate_month
+
+    workload = apply_estimates(
+        generate_month("2003-09", seed=4, scale=0.1),
+        MenuEstimates(exact_prob=0.05),
+        seed=1,
+    )
+    predictor = ClampedPredictor(RecentAveragePredictor(k=2))
+    err_pred = 0.0
+    err_req = 0.0
+    for job in workload.jobs:  # submit order
+        err_pred += abs(predictor.predict(job) - job.runtime)
+        err_req += abs(float(job.requested_runtime) - job.runtime)
+        predictor.observe(job)
+    assert err_pred < err_req
+
+
+def test_safety_margin_predictor():
+    from repro.predict.predictors import SafetyMarginPredictor
+
+    inner = RecentAveragePredictor(k=1)
+    margin = SafetyMarginPredictor(inner, factor=2.0)
+    margin.observe(_job("u", HOUR))
+    assert margin.predict(_job("u", 1.0, requested=9 * HOUR)) == 2 * HOUR
+    margin.reset()
+    assert margin.predict(_job("u", 1.0, requested=9 * HOUR)) == 18 * HOUR
+    with pytest.raises(ValueError):
+        SafetyMarginPredictor(inner, factor=0.5)
+
+
+def test_believed_release_revises_upward():
+    predictor = RecentAveragePredictor(k=1)
+    src = PredictedRuntimeSource(predictor)
+    # Teach the predictor "alice's jobs run one hour".
+    done = _job("alice", HOUR)
+    src.observe_completion(done, 0.0)
+    running = _job("alice", 6 * HOUR, requested=12 * HOUR)
+    running.start_time = 0.0
+    # Before the estimate expires, release = start + 1h.
+    assert src.believed_release(running, 0.5 * HOUR) == HOUR
+    # The job outlives the estimate: doubled until in the future.
+    assert src.believed_release(running, 1.5 * HOUR) == 2 * HOUR
+    assert src.believed_release(running, 5 * HOUR) == 8 * HOUR
+    # Never beyond the requested runtime.
+    assert src.believed_release(running, 11.9 * HOUR) == 12 * HOUR
+
+
+def test_default_believed_release_is_start_plus_estimate():
+    src = RequestedRuntimeSource()
+    job = _job("u", HOUR, requested=3 * HOUR)
+    job.start_time = 10.0
+    assert src.believed_release(job, 500.0) == 10.0 + 3 * HOUR

@@ -1,0 +1,72 @@
+"""Tests for backfill priority functions."""
+
+from repro.backfill.priorities import (
+    PRIORITIES,
+    FcfsPriority,
+    LxfPriority,
+    LxfWPriority,
+    SjfPriority,
+)
+from repro.util.timeunits import HOUR, MINUTE
+
+from tests.conftest import make_job
+
+
+def test_registry_names():
+    assert set(PRIORITIES) == {"fcfs", "lxf", "sjf", "lxfw"}
+    assert PRIORITIES["fcfs"].name == "FCFS"
+    assert PRIORITIES["lxf"].name == "LXF"
+
+
+def test_fcfs_key_ignores_now():
+    job = make_job(job_id=1, submit=5.0)
+    p = FcfsPriority()
+    assert p(job, 10.0, job.runtime) == p(job, 1e6, job.runtime)
+
+
+def test_lxf_slowdown_grows_with_wait():
+    job = make_job(submit=0.0, runtime=HOUR)
+    p = LxfPriority()
+    early = p(job, HOUR, job.runtime)[0]
+    late = p(job, 5 * HOUR, job.runtime)[0]
+    assert late < early  # more negative = higher priority
+
+
+def test_lxf_floor_protects_against_tiny_runtimes():
+    tiny = make_job(submit=0.0, runtime=1.0)
+    p = LxfPriority()
+    # Slowdown uses the 1-minute floor, not the 1-second runtime.
+    slowdown = -p(tiny, MINUTE, tiny.runtime)[0]
+    assert slowdown == (MINUTE + MINUTE) / MINUTE
+
+
+def test_sjf_prefers_short():
+    short = make_job(job_id=1, runtime=MINUTE)
+    long_ = make_job(job_id=2, runtime=HOUR)
+    p = SjfPriority()
+    assert p(short, 0.0, short.runtime) < p(long_, 0.0, long_.runtime)
+
+
+def test_sjf_uses_requested_when_planning_with_R():
+    job = make_job(runtime=MINUTE, requested=HOUR)
+    p = SjfPriority()
+    # The policy resolves R* and passes it in; here R* = R.
+    assert p(job, 0.0, float(job.requested_runtime))[0] == HOUR
+
+
+def test_lxfw_wait_weight_pulls_long_waiters_forward():
+    # Short job: waited 30 min on a 6-min runtime -> slowdown 6.
+    # Long job: waited 30 h on a 10-h runtime -> slowdown 4, but a huge
+    # absolute wait.  Plain LXF prefers the short job; LXF&W with a strong
+    # wait weight prefers the long waiter.
+    short = make_job(job_id=1, submit=29.5 * HOUR, runtime=0.1 * HOUR)
+    old_long = make_job(job_id=2, submit=0.0, runtime=10 * HOUR)
+    now = 30 * HOUR
+    lxf = LxfPriority()
+    lxfw = LxfWPriority(wait_weight=1.0)
+    plain_order = sorted([old_long, short], key=lambda j: lxf(j, now, j.runtime))
+    weighted_order = sorted(
+        [old_long, short], key=lambda j: lxfw(j, now, j.runtime)
+    )
+    assert plain_order[0] is short
+    assert weighted_order[0] is old_long

@@ -1,0 +1,114 @@
+"""Property-based tests for the availability profile (hypothesis).
+
+The profile is the substrate of every planner in the library; these
+properties pin down exactly the guarantees the search and backfill engines
+rely on: feasibility and minimality of earliest-fit starts, and exact
+LIFO reserve/release reversibility.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import AvailabilityProfile
+
+CAPACITY = 16
+
+# A reservation request: (start offset, duration, nodes).
+reservation = st.tuples(
+    st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    st.floats(min_value=0.1, max_value=200.0, allow_nan=False),
+    st.integers(min_value=1, max_value=CAPACITY),
+)
+
+# A job request used for earliest-fit queries: (nodes, duration, earliest).
+query = st.tuples(
+    st.integers(min_value=1, max_value=CAPACITY),
+    st.floats(min_value=0.1, max_value=300.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=400.0, allow_nan=False),
+)
+
+
+def _build(reservations: list[tuple[float, float, int]]) -> AvailabilityProfile:
+    """Apply a sequence of feasible placements via earliest-fit."""
+    p = AvailabilityProfile(CAPACITY, origin=0.0)
+    for earliest, duration, nodes in reservations:
+        start = p.earliest_start(nodes, duration, earliest)
+        p.reserve(start, duration, nodes)
+    return p
+
+
+@given(st.lists(reservation, max_size=12))
+@settings(max_examples=150, deadline=None)
+def test_invariants_hold_after_any_placement_sequence(reservations):
+    p = _build(reservations)
+    p.check_invariants()
+
+
+@given(st.lists(reservation, max_size=10), query)
+@settings(max_examples=150, deadline=None)
+def test_earliest_start_is_feasible(reservations, q):
+    nodes, duration, earliest = q
+    p = _build(reservations)
+    start = p.earliest_start(nodes, duration, earliest)
+    assert start >= earliest
+    assert p.min_free(start, start + duration) >= nodes
+    # Committing at the returned start must always succeed.
+    p.reserve(start, duration, nodes)
+    p.check_invariants()
+
+
+@given(st.lists(reservation, max_size=8), query)
+@settings(max_examples=100, deadline=None)
+def test_earliest_start_is_minimal(reservations, q):
+    """No feasible start exists strictly before the returned one.
+
+    Candidate starts are ``earliest`` and every breakpoint after it — a
+    step function cannot become feasible anywhere else.
+    """
+    nodes, duration, earliest = q
+    p = _build(reservations)
+    start = p.earliest_start(nodes, duration, earliest)
+    candidates = [earliest] + [t for t in p.times if earliest < t < start]
+    for c in candidates:
+        if c >= start:
+            continue
+        assert p.min_free(c, c + duration) < nodes, (
+            f"feasible start {c} found before reported {start}"
+        )
+
+
+@given(st.lists(reservation, min_size=1, max_size=10))
+@settings(max_examples=150, deadline=None)
+def test_lifo_release_restores_profile_exactly(reservations):
+    p = AvailabilityProfile(CAPACITY, origin=0.0)
+    snapshots = [p.segments()]
+    tokens = []
+    for earliest, duration, nodes in reservations:
+        start = p.earliest_start(nodes, duration, earliest)
+        tokens.append(p.reserve(start, duration, nodes))
+        snapshots.append(p.segments())
+    for token in reversed(tokens):
+        snapshots.pop()
+        p.release(token)
+        assert p.segments() == snapshots[-1]
+    assert p.segments() == [(0.0, CAPACITY)]
+
+
+@given(st.lists(reservation, max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_free_never_exceeds_capacity_nor_goes_negative(reservations):
+    p = _build(reservations)
+    assert all(0 <= f <= CAPACITY for f in p.free)
+
+
+@given(st.lists(reservation, max_size=10), st.floats(min_value=0, max_value=1000))
+@settings(max_examples=100, deadline=None)
+def test_free_at_matches_segments(reservations, t):
+    p = _build(reservations)
+    expected = CAPACITY
+    for time, free in p.segments():
+        if time <= t:
+            expected = free
+    assert p.free_at(t) == expected

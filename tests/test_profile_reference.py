@@ -1,0 +1,85 @@
+"""The availability profile against a brute-force reference model.
+
+The profile is clever (breakpoints, LIFO undo); the reference is dumb
+(a dense per-second occupancy array).  Hypothesis drives both through
+identical operation sequences and they must never disagree — the
+strongest correctness statement we can make about the planner substrate.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import AvailabilityProfile
+
+CAPACITY = 8
+# Worst case: 10 whole-machine 60 s reservations queued after t=120 end
+# by 120 + 600; keep headroom beyond that.
+HORIZON = 1000  # seconds of dense reference coverage
+
+# Integer-valued operations keep the dense reference exact.
+reservation = st.tuples(
+    st.integers(min_value=0, max_value=120),  # earliest
+    st.integers(min_value=1, max_value=60),  # duration
+    st.integers(min_value=1, max_value=CAPACITY),  # nodes
+)
+
+
+class DenseReference:
+    """Per-second free-node array over [0, HORIZON)."""
+
+    def __init__(self) -> None:
+        self.free = np.full(HORIZON, CAPACITY, dtype=int)
+
+    def earliest_start(self, nodes: int, duration: int, earliest: int) -> int:
+        t = earliest
+        while True:
+            end = t + duration
+            if end > HORIZON:
+                raise AssertionError("scenario exceeded reference horizon")
+            window = self.free[t:end]
+            if np.all(window >= nodes):
+                return t
+            # Jump to just after the first blocking second.
+            blocked = t + int(np.argmax(window < nodes))
+            t = blocked + 1
+
+    def reserve(self, start: int, duration: int, nodes: int) -> None:
+        self.free[start : start + duration] -= nodes
+        assert np.all(self.free >= 0)
+
+
+@given(st.lists(reservation, max_size=10))
+@settings(max_examples=200, deadline=None)
+def test_profile_agrees_with_dense_reference(operations):
+    profile = AvailabilityProfile(CAPACITY, origin=0.0)
+    reference = DenseReference()
+    for earliest, duration, nodes in operations:
+        fast = profile.earliest_start(nodes, float(duration), float(earliest))
+        slow = reference.earliest_start(nodes, duration, earliest)
+        assert math.isclose(fast, slow), (
+            f"profile said {fast}, reference said {slow} for "
+            f"(N={nodes}, d={duration}, from={earliest})"
+        )
+        profile.reserve(fast, float(duration), nodes)
+        reference.reserve(slow, duration, nodes)
+        # Spot-check the free function on a grid.
+        for t in range(0, 200, 13):
+            assert profile.free_at(float(t)) == reference.free[t]
+
+
+@given(st.lists(reservation, min_size=2, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_min_free_agrees_with_dense_reference(operations):
+    profile = AvailabilityProfile(CAPACITY, origin=0.0)
+    reference = DenseReference()
+    for earliest, duration, nodes in operations:
+        start = profile.earliest_start(nodes, float(duration), float(earliest))
+        profile.reserve(start, float(duration), nodes)
+        reference.reserve(int(start), duration, nodes)
+    lo, hi = 0, 250
+    assert profile.min_free(float(lo), float(hi)) == int(reference.free[lo:hi].min())

@@ -1,0 +1,52 @@
+"""Tests for plain-text report rendering."""
+
+import math
+
+import pytest
+
+from repro.metrics.classes import avg_wait_grid
+from repro.metrics.report import format_grid, format_series
+from repro.util.timeunits import HOUR
+
+from tests.conftest import make_job
+
+
+def test_format_series_layout():
+    text = format_series(
+        "avg wait (h)",
+        ["6/03", "7/03"],
+        {"FCFS-BF": [1.0, 2.5], "LXF-BF": [0.5, 1.25]},
+    )
+    lines = text.splitlines()
+    assert lines[0] == "avg wait (h)"
+    assert "FCFS-BF" in lines[1] and "LXF-BF" in lines[1]
+    assert "6/03" in lines[2] and "1.00" in lines[2]
+    assert "7/03" in lines[3] and "1.25" in lines[3]
+
+
+def test_format_series_handles_nan_and_none():
+    text = format_series("x", ["a"], {"s": [float("nan")]})
+    assert "-" in text.splitlines()[2]
+
+
+def test_format_series_length_mismatch():
+    with pytest.raises(ValueError, match="values for"):
+        format_series("x", ["a", "b"], {"s": [1.0]})
+
+
+def test_format_series_custom_format():
+    text = format_series("x", ["a"], {"s": [3.14159]}, fmt="{:.4f}")
+    assert "3.1416" in text
+
+
+def test_format_grid_renders_all_classes():
+    job = make_job(submit=0.0, nodes=1, runtime=HOUR)
+    job.start_time = HOUR
+    job.end_time = 2 * HOUR
+    grid = avg_wait_grid([job])
+    text = format_grid("demo grid", grid)
+    assert "demo grid" in text
+    assert "65-128" in text  # node headers present
+    assert ">8h" in text  # runtime labels present
+    # Exactly one populated cell (1.0), the rest dashes.
+    assert text.count("1.0") == 1

@@ -1,0 +1,58 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.report import reproduce_all
+from repro.cli import main
+
+TINY = ExperimentScale(job_scale=0.02, node_limit_factor=0.02, seed=3)
+
+
+def test_reproduce_subset_writes_report(tmp_path):
+    lines = []
+    report = reproduce_all(
+        tmp_path,
+        exp=TINY,
+        only=["table3", "fig1"],
+        with_claims=False,
+        progress=lines.append,
+    )
+    assert report.exists()
+    assert (tmp_path / "table3.txt").exists()
+    assert (tmp_path / "fig1.txt").exists()
+    assert not (tmp_path / "fig4.txt").exists()
+    body = report.read_text()
+    assert "Reproduction report" in body
+    assert "Table 3" in body and "Figure 1" in body
+    assert len(lines) == 2
+
+
+def test_reproduce_rejects_unknown_artifact(tmp_path):
+    with pytest.raises(ValueError, match="unknown artifacts"):
+        reproduce_all(tmp_path, exp=TINY, only=["fig99"], with_claims=False)
+
+
+def test_reproduce_cli_command(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SCALE", "0.02")
+    monkeypatch.setenv("REPRO_L_FACTOR", "0.02")
+    code = main(
+        [
+            "reproduce",
+            "--out",
+            str(tmp_path),
+            "--only",
+            "fig1",
+            "--no-claims",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "report written" in out
+    assert (tmp_path / "REPORT.md").exists()
+
+
+def test_reproduce_cli_rejects_unknown(tmp_path, capsys):
+    code = main(["reproduce", "--out", str(tmp_path), "--only", "nope"])
+    assert code == 2
+    assert "unknown artifacts" in capsys.readouterr().err

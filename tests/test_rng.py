@@ -1,0 +1,52 @@
+"""Unit tests for deterministic RNG streams."""
+
+import numpy as np
+
+from repro.util.rng import RngStream, spawn_streams
+
+
+def test_same_seed_same_name_reproduces():
+    a = RngStream(42, "arrivals")
+    b = RngStream(42, "arrivals")
+    assert np.allclose(a.uniform(size=10), b.uniform(size=10))
+
+
+def test_different_names_are_independent():
+    a = RngStream(42, "arrivals")
+    b = RngStream(42, "runtimes")
+    assert not np.allclose(a.uniform(size=10), b.uniform(size=10))
+
+
+def test_different_seeds_differ():
+    a = RngStream(1, "s")
+    b = RngStream(2, "s")
+    assert not np.allclose(a.uniform(size=10), b.uniform(size=10))
+
+
+def test_child_streams_are_stable_and_distinct():
+    parent = RngStream(7, "gen")
+    c1 = parent.child("a")
+    c2 = parent.child("b")
+    c1_again = RngStream(7, "gen").child("a")
+    assert np.allclose(c1.uniform(size=5), c1_again.uniform(size=5))
+    assert not np.allclose(
+        RngStream(7, "gen").child("a").uniform(size=5), c2.uniform(size=5)
+    )
+
+
+def test_spawn_streams_covers_names():
+    streams = spawn_streams(0, ["x", "y"])
+    assert set(streams) == {"x", "y"}
+    assert isinstance(streams["x"], RngStream)
+
+
+def test_draw_surface():
+    rng = RngStream(0, "draws")
+    assert rng.exponential(2.0, size=3).shape == (3,)
+    assert rng.lognormal(0, 1, size=3).shape == (3,)
+    picks = rng.choice([1, 2, 3], size=10, p=[0.2, 0.3, 0.5])
+    assert set(picks) <= {1, 2, 3}
+    assert 0 <= rng.integers(0, 10) < 10
+    xs = list(range(20))
+    rng.shuffle(xs)
+    assert sorted(xs) == list(range(20))

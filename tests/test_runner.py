@@ -1,0 +1,58 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.backfill import fcfs_backfill, lxf_backfill
+from repro.experiments.runner import run_matrix, simulate
+from repro.workloads.synthetic import generate_month
+
+
+@pytest.fixture(scope="module")
+def month():
+    return generate_month("2003-06", seed=5, scale=0.04)
+
+
+def test_simulate_returns_policy_run(month):
+    run = simulate(month, fcfs_backfill())
+    assert run.workload_name == "2003-06"
+    assert run.policy_name == "FCFS-backfill"
+    assert run.metrics.n_jobs == len(month.jobs_in_window())
+    assert 0 <= run.utilization <= 1
+    assert run.avg_queue_length >= 0
+    assert run.offered_load == pytest.approx(month.offered_load())
+
+
+def test_simulate_does_not_mutate_workload(month):
+    simulate(month, fcfs_backfill())
+    assert all(j.start_time is None for j in month.jobs)
+
+
+def test_simulate_repeatable(month):
+    a = simulate(month, fcfs_backfill())
+    b = simulate(month, fcfs_backfill())
+    assert a.metrics.avg_wait_hours == b.metrics.avg_wait_hours
+    assert a.metrics.max_wait_hours == b.metrics.max_wait_hours
+
+
+def test_excessive_helper(month):
+    run = simulate(month, fcfs_backfill())
+    stats = run.excessive(0.0)
+    # Threshold zero: every positive wait is excessive.
+    waits = [j.wait_time for j in run.jobs if j.wait_time > 0]
+    assert stats.count == len(waits)
+
+
+def test_run_matrix_covers_grid(month):
+    other = generate_month("2003-08", seed=5, scale=0.03)
+    results = run_matrix(
+        [month, other],
+        {"FCFS-BF": fcfs_backfill, "LXF-BF": lxf_backfill},
+    )
+    assert set(results) == {
+        ("2003-06", "FCFS-BF"),
+        ("2003-06", "LXF-BF"),
+        ("2003-08", "FCFS-BF"),
+        ("2003-08", "LXF-BF"),
+    }
+    for run in results.values():
+        assert run.metrics.n_jobs > 0

@@ -1,0 +1,57 @@
+"""Tests for load scaling (the paper's rho = 0.9 construction)."""
+
+import pytest
+
+from repro.workloads.scaling import scale_to_load
+from repro.workloads.synthetic import generate_month
+
+
+@pytest.fixture(scope="module")
+def month():
+    return generate_month("2003-09", seed=4, scale=0.1)
+
+
+def test_scaled_load_hits_target(month):
+    scaled = scale_to_load(month, 0.9)
+    assert scaled.offered_load() == pytest.approx(0.9, rel=1e-6)
+
+
+def test_job_shapes_unchanged(month):
+    scaled = scale_to_load(month, 0.9)
+    for orig, new in zip(month.jobs, scaled.jobs):
+        assert new.nodes == orig.nodes
+        assert new.runtime == orig.runtime
+        assert new.requested_runtime == orig.requested_runtime
+
+
+def test_interarrivals_compressed_uniformly(month):
+    scaled = scale_to_load(month, 0.9)
+    factor = month.offered_load() / 0.9
+    for orig, new in zip(month.jobs, scaled.jobs):
+        assert new.submit_time == pytest.approx(orig.submit_time * factor)
+    lo, hi = month.window
+    assert scaled.window == pytest.approx((lo * factor, hi * factor))
+
+
+def test_original_untouched(month):
+    before = [j.submit_time for j in month.jobs]
+    scale_to_load(month, 0.9)
+    assert [j.submit_time for j in month.jobs] == before
+
+
+def test_scaling_down_stretches(month):
+    relaxed = scale_to_load(month, 0.4)
+    assert relaxed.offered_load() == pytest.approx(0.4, rel=1e-6)
+    assert relaxed.span() > month.span()
+
+
+def test_rejects_bad_targets(month):
+    with pytest.raises(ValueError):
+        scale_to_load(month, 0.0)
+    with pytest.raises(ValueError):
+        scale_to_load(month, 1.5)
+
+
+def test_meta_records_target(month):
+    scaled = scale_to_load(month, 0.9)
+    assert scaled.meta["scaled_to_load"] == 0.9

@@ -1,0 +1,66 @@
+"""Tests for the reference list-scheduling builder."""
+
+import pytest
+
+from repro.core.profile import AvailabilityProfile
+from repro.core.schedule_builder import build_schedule
+from repro.util.timeunits import HOUR
+
+from tests.conftest import make_job
+
+
+def test_places_in_order_with_earliest_fits():
+    profile = AvailabilityProfile(4, origin=0.0)
+    a = make_job(job_id=1, nodes=4, runtime=2 * HOUR, waiting=True)
+    b = make_job(job_id=2, nodes=4, runtime=HOUR, waiting=True)
+    placed = build_schedule([a, b], profile, 0.0)
+    assert placed == [(a, 0.0), (b, 2 * HOUR)]
+
+
+def test_later_job_can_start_earlier():
+    # Consideration order is not start order (paper §2.2).
+    profile = AvailabilityProfile.from_segments(4, [(0.0, 2), (HOUR, 4)])
+    wide = make_job(job_id=1, nodes=4, runtime=HOUR, waiting=True)
+    narrow = make_job(job_id=2, nodes=2, runtime=HOUR, waiting=True)
+    placed = dict(build_schedule([wide, narrow], profile, 0.0))
+    assert placed[wide] == HOUR
+    assert placed[narrow] == 0.0
+
+
+def test_respects_now_lower_bound():
+    profile = AvailabilityProfile(4, origin=50.0)
+    job = make_job(job_id=1, submit=0.0, nodes=1, runtime=HOUR, waiting=True)
+    placed = build_schedule([job], profile, 50.0)
+    assert placed[0][1] == 50.0
+
+
+def test_uses_requested_runtime_when_asked():
+    profile = AvailabilityProfile.from_segments(2, [(0.0, 2), (HOUR, 2)])
+    # Actual 30 min, requested 3 h: with R* = R the second job cannot fit
+    # "behind" the first in a 1-hour hole it would fit into with R* = T.
+    first = make_job(job_id=1, nodes=2, runtime=HOUR / 2, requested=3 * HOUR, waiting=True)
+    second = make_job(job_id=2, nodes=2, runtime=HOUR / 2, requested=3 * HOUR, waiting=True)
+    actual = dict(build_schedule([first, second], profile, 0.0, use_actual_runtime=True))
+    requested = dict(
+        build_schedule([first, second], profile, 0.0, use_actual_runtime=False)
+    )
+    assert actual[second] == pytest.approx(HOUR / 2)
+    assert requested[second] == pytest.approx(3 * HOUR)
+
+
+def test_does_not_mutate_input_profile():
+    profile = AvailabilityProfile(4, origin=0.0)
+    job = make_job(job_id=1, nodes=2, runtime=HOUR, waiting=True)
+    build_schedule([job], profile, 0.0)
+    assert profile.segments() == [(0.0, 4)]
+
+
+def test_deterministic():
+    profile = AvailabilityProfile.from_segments(4, [(0.0, 1), (HOUR, 4)])
+    jobs = [
+        make_job(job_id=i, nodes=(i % 4) + 1, runtime=HOUR * (1 + i % 2), waiting=True)
+        for i in range(6)
+    ]
+    first = build_schedule(jobs, profile, 0.0)
+    second = build_schedule(jobs, profile, 0.0)
+    assert first == second

@@ -1,0 +1,111 @@
+"""Tests for the search-based on-line scheduling policy."""
+
+import pytest
+
+from repro.core.objective import DynamicBound, FixedBound
+from repro.core.scheduler import SearchSchedulingPolicy, make_policy
+from repro.simulator.cluster import Cluster
+from repro.simulator.engine import Simulation
+from repro.simulator.policy import RunningJob
+from repro.util.timeunits import HOUR
+
+from tests.conftest import make_job, small_cluster
+
+
+def test_policy_naming_matches_paper():
+    assert make_policy("dds", "lxf").name == "DDS/lxf/dynB"
+    assert make_policy("lds", "fcfs").name == "LDS/fcfs/dynB"
+    assert make_policy("dds", "lxf", bound=50 * HOUR).name == "DDS/lxf/fixB50h"
+
+
+def test_make_policy_bound_coercion():
+    assert isinstance(make_policy("dds", "lxf").bound, DynamicBound)
+    fixed = make_policy("dds", "lxf", bound=100 * HOUR).bound
+    assert isinstance(fixed, FixedBound)
+    assert fixed.omega == 100 * HOUR
+    explicit = make_policy("dds", "lxf", bound=FixedBound(HOUR)).bound
+    assert explicit == FixedBound(HOUR)
+
+
+def test_rejects_unknown_heuristic():
+    with pytest.raises(ValueError, match="heuristic"):
+        SearchSchedulingPolicy(heuristic="magic")
+
+
+def test_decide_empty_queue(cluster4):
+    policy = make_policy("dds", "lxf", node_limit=10)
+    assert policy.decide(0.0, [], [], Cluster(cluster4)) == []
+
+
+def test_decide_starts_only_jobs_planned_now(cluster4):
+    cluster = Cluster(cluster4)
+    running = make_job(job_id=99, nodes=2, runtime=HOUR, waiting=True)
+    cluster.start(running, 0.0)
+    waiting = [
+        make_job(job_id=1, submit=0.0, nodes=2, runtime=HOUR, waiting=True),
+        make_job(job_id=2, submit=0.0, nodes=4, runtime=HOUR, waiting=True),
+    ]
+    policy = make_policy("dds", "fcfs", node_limit=50)
+    views = [RunningJob(job=running, release_time=HOUR)]
+    started = policy.decide(0.0, waiting, views, cluster)
+    # Job 1 fits in the 2 free nodes now; job 2 needs the whole machine.
+    assert [j.job_id for j in started] == [1]
+
+
+def test_started_jobs_fit_free_nodes(cluster4):
+    cluster = Cluster(cluster4)
+    waiting = [
+        make_job(job_id=i, submit=0.0, nodes=2, runtime=HOUR, waiting=True)
+        for i in range(1, 5)
+    ]
+    policy = make_policy("dds", "lxf", node_limit=100)
+    started = policy.decide(0.0, waiting, [], cluster)
+    assert sum(j.nodes for j in started) <= cluster.free_nodes
+    assert len(started) == 2  # exactly the machine's worth
+
+
+def test_stats_accumulate(cluster4):
+    jobs = [
+        make_job(job_id=i, submit=float(i), nodes=2, runtime=HOUR) for i in range(6)
+    ]
+    policy = make_policy("dds", "lxf", node_limit=30)
+    Simulation(jobs, policy, cluster4).run()
+    assert policy.stats["decisions"] > 0
+    assert policy.stats["total_nodes_visited"] > 0
+    assert policy.stats["max_queue_length"] >= 1
+
+
+def test_full_simulation_no_starvation(cluster4):
+    jobs = [
+        make_job(job_id=i, submit=float(i * 600), nodes=(i % 4) + 1, runtime=HOUR)
+        for i in range(20)
+    ]
+    policy = make_policy("lds", "lxf", node_limit=50)
+    result = Simulation(jobs, policy, cluster4).run()
+    assert len(result.jobs) == 20
+
+
+def test_dynamic_bound_used_at_decision(cluster4):
+    """With dynB, omega equals the incumbent longest wait, so the incumbent
+    never accrues excess at the decision instant itself."""
+    cluster = Cluster(cluster4)
+    blocker = make_job(job_id=9, nodes=4, runtime=10 * HOUR, waiting=True)
+    cluster.start(blocker, 0.0)
+    old = make_job(job_id=1, submit=0.0, nodes=4, runtime=HOUR, waiting=True)
+    new = make_job(job_id=2, submit=5 * HOUR, nodes=4, runtime=HOUR, waiting=True)
+    policy = make_policy("dds", "lxf", node_limit=50)
+    views = [RunningJob(job=blocker, release_time=10 * HOUR)]
+    started = policy.decide(5 * HOUR, [old, new], views, cluster)
+    assert started == []  # machine full; nothing can start now
+    assert policy.bound.value(5 * HOUR, [old, new]) == 5 * HOUR
+
+
+def test_use_requested_runtime_mode(cluster4):
+    jobs = [
+        make_job(job_id=i, submit=float(i * 60), nodes=2, runtime=HOUR, requested=2 * HOUR)
+        for i in range(6)
+    ]
+    policy = make_policy("dds", "lxf", node_limit=30, runtime_source=False)
+    assert policy.use_actual_runtime is False
+    result = Simulation(jobs, policy, cluster4).run()
+    assert len(result.jobs) == 6

@@ -1,0 +1,68 @@
+"""Tests for the search's anytime instrumentation."""
+
+import pytest
+
+from repro.core.objective import FixedBound, ObjectiveConfig
+from repro.core.profile import AvailabilityProfile
+from repro.core.search import DiscrepancySearch, SearchProblem
+from repro.util.timeunits import HOUR
+
+from tests.conftest import make_job
+
+
+def _problem(n=6):
+    jobs = [
+        make_job(
+            job_id=i,
+            submit=0.0,
+            nodes=(i % 4) + 1,
+            runtime=HOUR * (1 + (i * 3) % 5),
+            waiting=True,
+        )
+        for i in range(n)
+    ]
+    profile = AvailabilityProfile.from_segments(4, [(0.0, 2), (2 * HOUR, 4)])
+    return SearchProblem(
+        jobs=tuple(jobs),
+        profile=profile,
+        now=0.0,
+        omega=0.0,
+        objective=ObjectiveConfig(bound=FixedBound(0.0)),
+    )
+
+
+def test_anytime_off_by_default():
+    result = DiscrepancySearch("dds", node_limit=100).search(_problem())
+    assert result.anytime is None
+
+
+def test_anytime_records_improvements():
+    result = DiscrepancySearch(
+        "dds", node_limit=None, record_anytime=True
+    ).search(_problem())
+    profile = result.anytime
+    assert profile is not None and len(profile) >= 1
+    # First entry is the heuristic path's leaf (n placements in).
+    nodes0, score0 = profile[0]
+    assert nodes0 == len(_problem().jobs)
+    # Node counts strictly increase; scores strictly improve.
+    for (n_a, s_a), (n_b, s_b) in zip(profile, profile[1:]):
+        assert n_b > n_a
+        assert s_b < s_a
+    # The last entry is the final best.
+    assert profile[-1][1] == result.best_score
+
+
+def test_anytime_quality_monotone_in_budget():
+    """The anytime curve is exactly why more budget never hurts: the best
+    at any prefix of the node count is the best the smaller budget had."""
+    full = DiscrepancySearch("lds", node_limit=None, record_anytime=True).search(
+        _problem()
+    )
+    small = DiscrepancySearch("lds", node_limit=60).search(_problem())
+    # The full run's best-so-far at 60 nodes equals the capped run's best.
+    best_at_60 = None
+    for nodes, score in full.anytime:
+        if nodes <= 60:
+            best_at_60 = score
+    assert best_at_60 == small.best_score

@@ -1,0 +1,199 @@
+"""Tests for search-tree combinatorics and the LDS/DDS visit orders.
+
+These encode Figure 1 of the paper directly: tree sizes (1d), the LDS
+iteration contents (1a-c), the DDS iteration contents (1e-f), and the
+worked example that path 0-4-3-1-2 is the 12th path under DDS but the
+18th under LDS.
+"""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.search_tree import (
+    count_dds_iteration,
+    count_lds_iteration,
+    dds_iteration_paths,
+    dds_order,
+    lds_iteration_paths,
+    lds_order,
+    max_discrepancies,
+    num_nodes,
+    num_paths,
+)
+
+ITEMS4 = (1, 2, 3, 4)
+
+
+def _discrepancies(path: tuple, items: tuple) -> int:
+    """Count discrepancies of a permutation w.r.t. heuristic order."""
+    remaining = list(items)
+    count = 0
+    for choice in path:
+        if choice != remaining[0]:
+            count += 1
+        remaining.remove(choice)
+    return count
+
+
+# ----------------------------------------------------------------------
+# Figure 1(d): tree sizes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "n,paths,nodes",
+    [
+        (4, 24, 64),
+        (8, 40320, 109600),  # the paper's "110K"
+        (10, 3_628_800, 9_864_100),  # "3,629K" paths, "9,864K" nodes
+        (15, 1_307_674_368_000, None),  # "1,307,674M" paths
+    ],
+)
+def test_tree_sizes_match_figure_1d(n, paths, nodes):
+    assert num_paths(n) == paths
+    if nodes is not None:
+        assert num_nodes(n) == nodes
+
+
+def test_num_nodes_closed_form_matches_sum():
+    for n in range(0, 9):
+        expected = sum(
+            math.factorial(n) // math.factorial(n - k) for k in range(1, n + 1)
+        )
+        assert num_nodes(n) == expected
+
+
+def test_negative_n_rejected():
+    with pytest.raises(ValueError):
+        num_paths(-1)
+    with pytest.raises(ValueError):
+        num_nodes(-1)
+
+
+# ----------------------------------------------------------------------
+# LDS iterations (Figure 1a-c)
+# ----------------------------------------------------------------------
+def test_lds_iteration0_is_heuristic_path():
+    assert list(lds_iteration_paths(ITEMS4, 0)) == [ITEMS4]
+
+
+def test_lds_iteration1_is_the_six_one_discrepancy_paths():
+    paths = list(lds_iteration_paths(ITEMS4, 1))
+    assert len(paths) == 6
+    assert all(_discrepancies(p, ITEMS4) == 1 for p in paths)
+    # DFS (left-to-right) order within the iteration:
+    assert paths == [
+        (1, 2, 4, 3),
+        (1, 3, 2, 4),
+        (1, 4, 2, 3),
+        (2, 1, 3, 4),
+        (3, 1, 2, 4),
+        (4, 1, 2, 3),
+    ]
+
+
+def test_lds_iteration2_has_eleven_paths():
+    paths = list(lds_iteration_paths(ITEMS4, 2))
+    assert len(paths) == 11
+    assert all(_discrepancies(p, ITEMS4) == 2 for p in paths)
+    assert (1, 3, 2, 4) not in paths  # that one has a single discrepancy
+
+
+def test_lds_order_partitions_all_permutations():
+    paths = list(lds_order(ITEMS4))
+    assert len(paths) == 24
+    assert len(set(paths)) == 24
+    assert set(paths) == set(itertools.permutations(ITEMS4))
+    # Iterations are in non-decreasing discrepancy count.
+    counts = [_discrepancies(p, ITEMS4) for p in paths]
+    assert counts == sorted(counts)
+
+
+# ----------------------------------------------------------------------
+# DDS iterations (Figure 1e-f)
+# ----------------------------------------------------------------------
+def test_dds_iteration0_is_heuristic_path():
+    assert list(dds_iteration_paths(ITEMS4, 0)) == [ITEMS4]
+
+
+def test_dds_iteration1_branches_at_root():
+    paths = list(dds_iteration_paths(ITEMS4, 1))
+    assert paths == [(2, 1, 3, 4), (3, 1, 2, 4), (4, 1, 2, 3)]
+
+
+def test_dds_iteration2_has_eight_paths():
+    paths = list(dds_iteration_paths(ITEMS4, 2))
+    assert len(paths) == 8
+    # The paper's examples: 0-1-3-2-4 and 0-2-3-1-4 are in this iteration.
+    assert (1, 3, 2, 4) in paths
+    assert (2, 3, 1, 4) in paths
+    # Every path has its deepest discrepancy exactly at level 2.
+    for p in paths:
+        remaining = list(ITEMS4)
+        deepest = 0
+        for level, choice in enumerate(p, start=1):
+            if choice != remaining[0]:
+                deepest = level
+            remaining.remove(choice)
+        assert deepest == 2
+
+
+def test_dds_order_partitions_all_permutations():
+    paths = list(dds_order(ITEMS4))
+    assert len(paths) == 24
+    assert set(paths) == set(itertools.permutations(ITEMS4))
+
+
+def test_paper_worked_example_0_4_3_1_2():
+    """Path 0-4-3-1-2: the 12th path under DDS, the 18th under LDS."""
+    target = (4, 3, 1, 2)
+    dds_position = list(dds_order(ITEMS4)).index(target) + 1
+    lds_position = list(lds_order(ITEMS4)).index(target) + 1
+    assert dds_position == 12
+    assert lds_position == 18
+
+
+# ----------------------------------------------------------------------
+# Count formulas vs. enumeration
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", range(1, 7))
+def test_lds_counts_match_enumeration(n):
+    items = tuple(range(n))
+    for k in range(0, max_discrepancies(n) + 1):
+        assert count_lds_iteration(n, k) == len(list(lds_iteration_paths(items, k)))
+
+
+@pytest.mark.parametrize("n", range(1, 7))
+def test_dds_counts_match_enumeration(n):
+    items = tuple(range(n))
+    for i in range(0, max_discrepancies(n) + 1):
+        assert count_dds_iteration(n, i) == len(list(dds_iteration_paths(items, i)))
+
+
+@pytest.mark.parametrize("n", range(1, 8))
+def test_iteration_counts_sum_to_factorial(n):
+    assert sum(
+        count_lds_iteration(n, k) for k in range(0, max_discrepancies(n) + 1)
+    ) == math.factorial(n)
+    assert sum(
+        count_dds_iteration(n, i) for i in range(0, max_discrepancies(n) + 1)
+    ) == math.factorial(n)
+
+
+def test_empty_and_single_item_edge_cases():
+    assert list(lds_order(())) == [()]
+    assert list(dds_order(())) == [()]
+    assert list(lds_order((7,))) == [(7,)]
+    assert list(dds_order((7,))) == [(7,)]
+
+
+@given(st.integers(min_value=1, max_value=6))
+@settings(max_examples=20, deadline=None)
+def test_orders_are_permutation_partitions(n):
+    items = tuple(range(n))
+    for order_fn in (lds_order, dds_order):
+        paths = list(order_fn(items))
+        assert len(paths) == math.factorial(n)
+        assert len(set(paths)) == len(paths)

@@ -1,0 +1,73 @@
+"""Tests for the Table 3 / Table 4 recomputation from traces."""
+
+import pytest
+
+from repro.util.timeunits import HOUR
+from repro.workloads.stats import (
+    format_job_mix,
+    format_runtime_table,
+    job_mix_table,
+    runtime_table,
+)
+from repro.workloads.trace import Workload
+from repro.simulator.cluster import ClusterConfig, JobLimits
+
+from tests.conftest import make_job
+
+
+def _toy_workload():
+    # Two 1-node short jobs and one 128-node long job over a 10-hour window.
+    jobs = [
+        make_job(job_id=1, submit=0.0, nodes=1, runtime=0.5 * HOUR),
+        make_job(job_id=2, submit=HOUR, nodes=1, runtime=0.5 * HOUR),
+        make_job(job_id=3, submit=2 * HOUR, nodes=128, runtime=6 * HOUR),
+    ]
+    return Workload(
+        name="toy",
+        jobs=jobs,
+        window=(0.0, 10 * HOUR),
+        cluster=ClusterConfig(nodes=128, limits=JobLimits(128, 24 * HOUR)),
+    )
+
+
+def test_job_mix_fractions():
+    table = job_mix_table(_toy_workload())
+    assert table.total_jobs == 3
+    assert table.jobs_frac[0] == pytest.approx(2 / 3)  # two 1-node jobs
+    assert table.jobs_frac[7] == pytest.approx(1 / 3)  # the 128-node job
+    total_area = 2 * 0.5 * HOUR + 128 * 6 * HOUR
+    assert table.demand_frac[7] == pytest.approx(128 * 6 * HOUR / total_area)
+
+
+def test_job_mix_load():
+    table = job_mix_table(_toy_workload())
+    expected = (2 * 0.5 + 128 * 6) / (128 * 10)
+    assert table.load == pytest.approx(expected)
+
+
+def test_runtime_table_buckets():
+    table = runtime_table(_toy_workload())
+    assert table.short_frac[0] == pytest.approx(2 / 3)  # 1-node short jobs
+    assert table.long_frac[4] == pytest.approx(1 / 3)  # 33-128 long job
+    assert table.short_all == pytest.approx(2 / 3)
+    assert table.long_all == pytest.approx(1 / 3)
+
+
+def test_empty_window_rejected():
+    w = _toy_workload()
+    w.window = (100 * HOUR, 101 * HOUR)
+    with pytest.raises(ValueError, match="no in-window jobs"):
+        job_mix_table(w)
+    with pytest.raises(ValueError, match="no in-window jobs"):
+        runtime_table(w)
+
+
+def test_formatting_contains_all_months():
+    tables = [job_mix_table(_toy_workload())]
+    text = format_job_mix(tables)
+    assert "toy" in text
+    assert "#jobs" in text and "demand" in text
+    rt = [runtime_table(_toy_workload())]
+    text2 = format_runtime_table(rt)
+    assert "T <= 1 hour" in text2 and "T > 5 hours" in text2
+    assert "all" in text2

@@ -1,0 +1,151 @@
+"""Tests for Standard Workload Format I/O."""
+
+import io
+
+import pytest
+
+from repro.simulator.cluster import ClusterConfig, JobLimits
+from repro.util.timeunits import HOUR
+from repro.workloads.swf import SwfParseError, read_swf, read_swf_string, write_swf
+from repro.workloads.synthetic import generate_month
+
+
+def _line(
+    job_id=1,
+    submit=0,
+    wait=-1,
+    runtime=3600,
+    allocated=4,
+    requested_procs=4,
+    requested_time=7200,
+    status=1,
+):
+    fields = [
+        job_id, submit, wait, runtime, allocated, -1, -1,
+        requested_procs, requested_time, -1, status, -1, -1, -1, -1, -1, -1, -1,
+    ]
+    return " ".join(str(f) for f in fields)
+
+
+def test_parse_minimal_trace():
+    text = "; Computer: TestMachine\n" + _line() + "\n" + _line(job_id=2, submit=100)
+    w = read_swf_string(text)
+    assert w.name == "TestMachine"
+    assert len(w.jobs) == 2
+    job = w.jobs[0]
+    assert job.submit_time == 0
+    assert job.runtime == 3600
+    assert job.nodes == 4
+    assert job.requested_runtime == 7200
+
+
+def test_header_comments_collected():
+    text = "; Computer: M\n; MaxNodes: 64\n" + _line()
+    w = read_swf_string(text)
+    assert w.meta["swf_header"]["MaxNodes"] == "64"
+
+
+def test_requested_time_clamped_to_runtime():
+    # Real logs contain R < T rows; the parser clamps up.
+    text = _line(runtime=5000, requested_time=1000)
+    w = read_swf_string(text)
+    assert w.jobs[0].requested_runtime == 5000
+
+
+def test_missing_requested_procs_falls_back_to_allocated():
+    text = _line(requested_procs=-1, allocated=8)
+    w = read_swf_string(text)
+    assert w.jobs[0].nodes == 8
+
+
+def test_zero_runtime_rows_dropped_by_default():
+    text = _line() + "\n" + _line(job_id=2, runtime=0)
+    w = read_swf_string(text)
+    assert len(w.jobs) == 1
+    with pytest.raises(SwfParseError, match="runtime"):
+        read_swf_string(text, drop_zero_runtime=False)
+
+
+def test_malformed_lines_raise_with_line_number():
+    with pytest.raises(SwfParseError, match="line 2"):
+        read_swf_string(_line() + "\n1 2 3\n")
+    with pytest.raises(SwfParseError, match="bad numeric"):
+        read_swf_string(_line().replace("3600", "abc", 1))
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(SwfParseError, match="no jobs"):
+        read_swf_string("; just a header\n")
+
+
+def test_capacity_inferred_as_power_of_two():
+    text = _line(requested_procs=100, allocated=100)
+    w = read_swf_string(text)
+    assert w.cluster.nodes == 128
+
+
+def test_explicit_cluster_respected():
+    config = ClusterConfig(nodes=256, limits=JobLimits(256, 100 * HOUR))
+    w = read_swf_string(_line(), cluster=config)
+    assert w.cluster.nodes == 256
+
+
+def test_roundtrip_through_swf(tmp_path):
+    original = generate_month("2003-06", seed=2, scale=0.02)
+    path = tmp_path / "trace.swf"
+    write_swf(original, path, comments=["synthetic test trace"])
+    loaded = read_swf(path, cluster=original.cluster)
+    assert len(loaded.jobs) == len(original.jobs)
+    for a, b in zip(original.jobs, loaded.jobs):
+        assert b.nodes == a.nodes
+        assert b.submit_time == pytest.approx(a.submit_time, abs=1.0)
+        assert b.runtime == pytest.approx(a.runtime, abs=1.0)
+
+
+def test_write_to_stream():
+    w = read_swf_string(_line())
+    buffer = io.StringIO()
+    write_swf(w, buffer)
+    assert "; Computer:" in buffer.getvalue()
+    reparsed = read_swf(io.StringIO(buffer.getvalue()))
+    assert len(reparsed.jobs) == 1
+
+
+def test_simulatable_after_parse():
+    from repro.backfill import fcfs_backfill
+    from repro.experiments.runner import simulate
+
+    text = "\n".join(
+        _line(job_id=i, submit=i * 100, requested_procs=(i % 4) + 1)
+        for i in range(1, 11)
+    )
+    w = read_swf_string(text)
+    run = simulate(w, fcfs_backfill())
+    assert run.metrics.n_jobs == 10
+
+
+def test_uid_parsed_into_user():
+    text = _line().replace(" -1 -1 -1 -1 -1 -1 -1", " 42 -1 -1 -1 -1 -1 -1", 1)
+    # Field 12 (uid) is the first of the trailing block in _line().
+    w = read_swf_string(text)
+    assert w.jobs[0].user == "u42"
+
+
+def test_missing_uid_gives_anonymous_job():
+    w = read_swf_string(_line())
+    assert w.jobs[0].user is None
+
+
+def test_user_roundtrips_through_writer(tmp_path):
+    from repro.workloads.synthetic import generate_month
+
+    original = generate_month("2003-06", seed=2, scale=0.01)
+    assert any(j.user for j in original.jobs)
+    path = tmp_path / "users.swf"
+    write_swf(original, path)
+    loaded = read_swf(path, cluster=original.cluster)
+    originals = {j.job_id: j.user for j in original.jobs}
+    for job in loaded.jobs:
+        # u007 normalizes to u7 through the numeric uid field.
+        assert job.user is not None
+        assert int(job.user[1:]) == int(originals[job.job_id][1:])

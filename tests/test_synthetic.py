@@ -1,0 +1,135 @@
+"""Tests for the synthetic monthly workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.util.timeunits import HOUR, MINUTE
+from repro.workloads.calibration import MONTHS, group_of_nodes, range_of_nodes
+from repro.workloads.stats import job_mix_table, runtime_table
+from repro.workloads.synthetic import SyntheticMonthGenerator, generate_month
+
+
+@pytest.fixture(scope="module")
+def july():
+    # Module-scoped: generation is the expensive part of these tests.
+    return generate_month("2003-07", seed=11, scale=0.5)
+
+
+def test_unknown_month_rejected():
+    with pytest.raises(ValueError, match="unknown month"):
+        generate_month("1999-01")
+
+
+def test_deterministic_given_seed_and_scale():
+    a = generate_month("2003-06", seed=7, scale=0.05)
+    b = generate_month("2003-06", seed=7, scale=0.05)
+    assert len(a.jobs) == len(b.jobs)
+    for ja, jb in zip(a.jobs, b.jobs):
+        assert (ja.submit_time, ja.nodes, ja.runtime) == (
+            jb.submit_time,
+            jb.nodes,
+            jb.runtime,
+        )
+
+
+def test_different_seeds_differ():
+    a = generate_month("2003-06", seed=1, scale=0.05)
+    b = generate_month("2003-06", seed=2, scale=0.05)
+    assert [j.runtime for j in a.jobs] != [j.runtime for j in b.jobs]
+
+
+def test_job_count_scales(july):
+    target = MONTHS["2003-07"].total_jobs
+    assert len(july.jobs_in_window()) == round(target * 0.5)
+
+
+def test_offered_load_matches_table3(july):
+    assert july.offered_load() == pytest.approx(MONTHS["2003-07"].load, rel=0.02)
+
+
+def test_all_jobs_respect_limits(july):
+    limits = MONTHS["2003-07"].limits
+    for job in july.jobs:
+        assert 1 <= job.nodes <= limits.max_nodes
+        assert MINUTE <= job.runtime <= limits.max_runtime + 1e-6
+        assert job.requested_runtime >= job.runtime
+
+
+def test_job_mix_tracks_table3(july):
+    cal = MONTHS["2003-07"]
+    table = job_mix_table(july)
+    for realized, target in zip(table.jobs_frac, cal.jobs_frac):
+        assert realized == pytest.approx(target, abs=0.05)
+    # Demand shares: the July signature (65-128 jobs ~50% of demand).
+    assert table.demand_frac[-1] == pytest.approx(cal.demand_frac[-1], abs=0.10)
+
+
+def test_runtime_buckets_track_table4(july):
+    cal = MONTHS["2003-07"]
+    table = runtime_table(july)
+    assert table.short_all == pytest.approx(sum(cal.short_frac), abs=0.06)
+    assert table.long_all == pytest.approx(sum(cal.long_frac), abs=0.06)
+
+
+def test_january_signature_long_one_node_jobs():
+    jan = generate_month("2004-01", seed=11, scale=0.5)
+    table = runtime_table(jan)
+    cal = MONTHS["2004-01"]
+    # ~23% of all jobs are one-node and > 5h; ~20% are 9-32 nodes and short.
+    assert table.long_frac[0] == pytest.approx(cal.long_frac[0], abs=0.05)
+    assert table.short_frac[3] == pytest.approx(cal.short_frac[3], abs=0.05)
+
+
+def test_window_excludes_warm_and_cool(july):
+    lo, hi = july.window
+    in_window = july.jobs_in_window()
+    assert 0 < len(in_window) < len(july.jobs)
+    assert any(j.submit_time < lo for j in july.jobs)  # warm-up exists
+    assert any(j.submit_time >= hi for j in july.jobs)  # cool-down exists
+
+
+def test_submit_times_sorted_and_nonnegative(july):
+    times = [j.submit_time for j in july.jobs]
+    assert times == sorted(times)
+    assert times[0] >= 0
+
+
+def test_job_ids_unique(july):
+    ids = [j.job_id for j in july.jobs]
+    assert len(set(ids)) == len(ids)
+
+
+def test_generator_dataclass_api():
+    gen = SyntheticMonthGenerator(calibration=MONTHS["2003-08"], seed=3, scale=0.02)
+    w = gen.generate()
+    assert w.name == "2003-08"
+    assert w.meta["scale"] == 0.02
+    assert w.cluster.limits == MONTHS["2003-08"].limits
+
+
+def test_power_of_two_bias_in_node_sampling():
+    w = generate_month("2003-07", seed=5, scale=1.0)
+    wide = [j.nodes for j in w.jobs if 65 <= j.nodes <= 128]
+    assert wide, "expected some 65-128-node jobs"
+    share_128 = sum(1 for n in wide if n == 128) / len(wide)
+    # Uniform sampling over 65..128 would give ~1.6%; the power-of-two
+    # weighting makes 128 several times more common.
+    assert share_128 > 0.05
+
+
+@pytest.mark.parametrize("month", sorted(MONTHS))
+def test_all_months_calibrate(month):
+    """Every month's generated mix tracks its published statistics.
+
+    Looser tolerances than the deep 7/03 / 1/04 checks — this is the
+    breadth pass over the whole calibration table at moderate scale.
+    """
+    w = generate_month(month, seed=21, scale=0.3)
+    cal = MONTHS[month]
+    assert w.offered_load() == pytest.approx(cal.load, rel=0.03)
+    mix = job_mix_table(w)
+    for realized, target in zip(mix.jobs_frac, cal.jobs_frac):
+        assert abs(realized - target) < 0.06, (month, realized, target)
+    rt = runtime_table(w)
+    assert abs(rt.short_all - sum(cal.short_frac)) < 0.08, month
+    assert abs(rt.long_all - sum(cal.long_frac)) < 0.08, month

@@ -1,0 +1,104 @@
+"""Tests for time-series instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.timeseries import StateTimeSeries
+from repro.simulator.engine import Simulation
+from repro.util.timeunits import HOUR
+
+from tests.conftest import make_job, small_cluster
+from tests.test_engine import GreedyFifo
+
+
+def _series():
+    ts = StateTimeSeries()
+    ts.record(0.0, 2, 4, 100.0)
+    ts.record(10.0, 1, 8, 50.0)
+    ts.record(20.0, 0, 0, 0.0)
+    return ts
+
+
+def test_record_and_len():
+    ts = _series()
+    assert len(ts) == 3
+    assert ts.times == [0.0, 10.0, 20.0]
+
+
+def test_record_rejects_out_of_order():
+    ts = _series()
+    with pytest.raises(ValueError, match="time order"):
+        ts.record(5.0, 1, 1, 0.0)
+
+
+def test_same_instant_overwrites():
+    ts = StateTimeSeries()
+    ts.record(0.0, 5, 1, 10.0)
+    ts.record(0.0, 3, 2, 5.0)  # post-decision state replaces pre-decision
+    assert len(ts) == 1
+    assert ts.queue_lengths == [3]
+
+
+def test_value_at_is_right_continuous_step():
+    ts = _series()
+    assert ts.value_at("queue_lengths", 0.0) == 2
+    assert ts.value_at("queue_lengths", 9.99) == 2
+    assert ts.value_at("queue_lengths", 10.0) == 1
+    assert ts.value_at("queue_lengths", 100.0) == 0
+    assert ts.value_at("queue_lengths", -5.0) == 2  # clamped to first
+
+
+def test_time_average():
+    ts = _series()
+    # Over [0, 20): 2 for 10 s, then 1 for 10 s -> 1.5.
+    assert ts.time_average("queue_lengths", (0.0, 20.0)) == pytest.approx(1.5)
+    # Full span defaults to [first, last sample) = [0, 20).
+    assert ts.time_average("queue_lengths") == pytest.approx(1.5)
+
+
+def test_time_average_validates():
+    with pytest.raises(ValueError, match="empty"):
+        StateTimeSeries().time_average("queue_lengths")
+    with pytest.raises(ValueError, match="lo < hi"):
+        _series().time_average("queue_lengths", (5.0, 5.0))
+
+
+def test_peak():
+    ts = _series()
+    assert ts.peak("used_nodes") == (10.0, 8.0)
+    assert ts.peak("backlog_node_seconds") == (0.0, 100.0)
+
+
+def test_resample_grid():
+    ts = _series()
+    grid, values = ts.resample("queue_lengths", step=5.0)
+    assert np.allclose(grid, [0, 5, 10, 15, 20])
+    assert list(values) == [2, 2, 1, 1, 0]
+    with pytest.raises(ValueError):
+        ts.resample("queue_lengths", step=0.0)
+
+
+def test_engine_records_timeseries(cluster4):
+    jobs = [
+        make_job(job_id=1, submit=0.0, nodes=4, runtime=100.0),
+        make_job(job_id=2, submit=0.0, nodes=4, runtime=100.0),
+    ]
+    result = Simulation(
+        jobs, GreedyFifo(), cluster4, record_timeseries=True
+    ).run()
+    ts = result.timeseries
+    assert ts is not None
+    # t=0: job 1 running (4 nodes), job 2 queued.
+    assert ts.value_at("queue_lengths", 0.0) == 1
+    assert ts.value_at("used_nodes", 0.0) == 4
+    # After t=100 job 2 runs alone; queue empty.
+    assert ts.value_at("queue_lengths", 100.0) == 0
+    # Consistency with the engine's own queue-length integral.
+    avg_from_ts = ts.time_average("queue_lengths", result.window)
+    assert avg_from_ts == pytest.approx(result.avg_queue_length, abs=1e-9)
+
+
+def test_engine_timeseries_off_by_default(cluster4):
+    jobs = [make_job(job_id=1, submit=0.0, nodes=1, runtime=10.0)]
+    result = Simulation(jobs, GreedyFifo(), cluster4).run()
+    assert result.timeseries is None

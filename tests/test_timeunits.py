@@ -1,0 +1,56 @@
+"""Unit tests for time-unit helpers."""
+
+import pytest
+
+from repro.util.timeunits import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    days,
+    fmt_duration,
+    hours,
+    minutes,
+    to_hours,
+    to_minutes,
+)
+
+
+def test_constants_consistent():
+    assert MINUTE == 60
+    assert HOUR == 60 * MINUTE
+    assert DAY == 24 * HOUR
+    assert WEEK == 7 * DAY
+
+
+@pytest.mark.parametrize(
+    "fn,arg,expected",
+    [
+        (hours, 2, 7200),
+        (minutes, 3, 180),
+        (days, 1.5, 129600),
+    ],
+)
+def test_forward_conversions(fn, arg, expected):
+    assert fn(arg) == expected
+
+
+def test_roundtrips():
+    assert to_hours(hours(7.25)) == pytest.approx(7.25)
+    assert to_minutes(minutes(90)) == pytest.approx(90)
+
+
+@pytest.mark.parametrize(
+    "seconds,text",
+    [
+        (0, "0s"),
+        (59, "59s"),
+        (90, "1m30s"),
+        (3600, "1h"),
+        (3600 * 5.5, "5h30m"),
+        (DAY + HOUR, "1d1h"),
+        (-90, "-1m30s"),
+    ],
+)
+def test_fmt_duration(seconds, text):
+    assert fmt_duration(seconds) == text

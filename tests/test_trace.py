@@ -1,0 +1,82 @@
+"""Unit tests for the Workload container."""
+
+import pytest
+
+from repro.simulator.cluster import ClusterConfig, JobLimits
+from repro.util.timeunits import HOUR
+from repro.workloads.trace import Workload
+
+from tests.conftest import make_job, small_cluster
+
+
+def _workload(**kwargs):
+    jobs = kwargs.pop(
+        "jobs",
+        [
+            make_job(job_id=1, submit=0.0, nodes=2, runtime=HOUR),
+            make_job(job_id=2, submit=HOUR, nodes=4, runtime=2 * HOUR),
+            make_job(job_id=3, submit=50 * HOUR, nodes=1, runtime=HOUR),
+        ],
+    )
+    defaults = dict(
+        name="w", jobs=jobs, window=(0.0, 10 * HOUR), cluster=small_cluster(4)
+    )
+    defaults.update(kwargs)
+    return Workload(**defaults)
+
+
+def test_jobs_sorted_on_construction():
+    a = make_job(job_id=1, submit=HOUR)
+    b = make_job(job_id=2, submit=0.0)
+    w = _workload(jobs=[a, b])
+    assert [j.job_id for j in w.jobs] == [2, 1]
+
+
+def test_window_validation():
+    with pytest.raises(ValueError, match="lo < hi"):
+        _workload(window=(5.0, 5.0))
+
+
+def test_jobs_in_window_half_open():
+    w = _workload(window=(0.0, HOUR))
+    assert [j.job_id for j in w.jobs_in_window()] == [1]  # submit=HOUR excluded
+
+
+def test_offered_load():
+    # In-window: job1 (2 x 1h) + job2 (4 x 2h) = 10 node-hours over
+    # a 4-node x 10-hour window = 0.25.
+    w = _workload()
+    assert w.offered_load() == pytest.approx(0.25)
+
+
+def test_span_and_scaled_window():
+    w = _workload()
+    assert w.span() == 10 * HOUR
+    assert w.scaled_window(0.5) == (0.0, 5 * HOUR)
+
+
+def test_fresh_jobs_are_independent_copies():
+    w = _workload()
+    fresh = w.fresh_jobs()
+    assert [j.job_id for j in fresh] == [j.job_id for j in w.jobs]
+    assert all(a is not b for a, b in zip(fresh, w.jobs))
+    fresh[0].start_time = 123.0
+    assert w.jobs[0].start_time is None
+
+
+def test_fresh_jobs_preserve_user_and_requested():
+    job = make_job(job_id=9, submit=0.0, runtime=HOUR, requested=2 * HOUR)
+    job.user = "alice"
+    w = _workload(jobs=[job])
+    clone = w.fresh_jobs()[0]
+    assert clone.user == "alice"
+    assert clone.requested_runtime == 2 * HOUR
+
+
+def test_with_jobs_merges_meta():
+    w = _workload()
+    w.meta["origin"] = "test"
+    w2 = w.with_jobs(w.fresh_jobs(), extra="yes")
+    assert w2.meta == {"origin": "test", "extra": "yes"}
+    assert w2.window == w.window
+    assert len(w2) == len(w)

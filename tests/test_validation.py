@@ -1,0 +1,42 @@
+"""Unit tests for validation helpers."""
+
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+
+def test_check_positive_accepts_positive():
+    check_positive("x", 1e-9)
+
+
+@pytest.mark.parametrize("bad", [0, -1, -0.5])
+def test_check_positive_rejects(bad):
+    with pytest.raises(ValueError, match="x must be > 0"):
+        check_positive("x", bad)
+
+
+def test_check_non_negative():
+    check_non_negative("x", 0)
+    with pytest.raises(ValueError):
+        check_non_negative("x", -1e-9)
+
+
+def test_check_in_range_bounds_inclusive():
+    check_in_range("x", 0, 0, 1)
+    check_in_range("x", 1, 0, 1)
+    with pytest.raises(ValueError):
+        check_in_range("x", 1.001, 0, 1)
+
+
+def test_check_type_single_and_tuple():
+    check_type("x", 3, int)
+    check_type("x", 3.0, (int, float))
+    with pytest.raises(TypeError, match="x must be int"):
+        check_type("x", "3", int)
+    with pytest.raises(TypeError, match="int/float"):
+        check_type("x", "3", (int, float))
