@@ -9,9 +9,36 @@ prints the series the paper plots, and archives the text under
 
 from __future__ import annotations
 
+import os
 import pathlib
 
+import pytest
+
+from repro.experiments import parallel
+from repro.experiments.cache import RunCache
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _benchmark_execution():
+    """Benchmarks default to all cores plus a repo-local run cache.
+
+    ``REPRO_WORKERS`` overrides the pool size (1 = serial) and
+    ``REPRO_NO_CACHE=1`` disables the cache, e.g. when timing the
+    simulations themselves rather than the figure pipeline.
+    """
+    workers = int(os.environ.get("REPRO_WORKERS", "0"))  # 0 = all cores
+    cache = None
+    if os.environ.get("REPRO_NO_CACHE", "").strip() not in {"1", "true", "yes"}:
+        cache_dir = os.environ.get(
+            "REPRO_CACHE_DIR",
+            str(pathlib.Path(__file__).resolve().parent.parent / ".repro-cache"),
+        )
+        cache = RunCache(cache_dir)
+    parallel.configure(max_workers=workers, cache=cache)
+    yield
+    parallel.reset_execution()
 
 
 def emit(name: str, text: str) -> None:

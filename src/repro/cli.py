@@ -21,6 +21,11 @@ Policy specs accepted by ``run --policy``:
 - ``lookahead`` / ``selective`` / ``slack`` — the §3.2 variants;
 - ``dds/lxf/dynB`` (and any ``<algo>/<heuristic>/<bound>`` combination,
   bounds ``dynB`` or ``fixB<hours>h``) — search-based policies.
+
+The grid-running commands (``figure``, ``claims``, ``reproduce``) accept
+``--workers N`` (0 = all cores) to fan simulations across a process pool
+and ``--cache-dir``/``--no-cache`` to control the on-disk run cache; see
+:mod:`repro.experiments.parallel`.
 """
 
 from __future__ import annotations
@@ -124,6 +129,52 @@ def parse_policy(
     )
 
 
+def _add_execution_args(sub: argparse.ArgumentParser) -> None:
+    """Attach the parallel-runner / run-cache flags to a subcommand."""
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for simulation grids (0 = all cores; "
+        "default: REPRO_WORKERS or serial)",
+    )
+    sub.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist finished runs under DIR (default: REPRO_CACHE_DIR "
+        "or .repro-cache when caching is enabled)",
+    )
+    sub.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="never read or write the run cache for this invocation",
+    )
+
+
+def _configure_execution(args: argparse.Namespace) -> None:
+    """Apply ``--workers``/``--cache-dir``/``--no-cache`` for this command.
+
+    With no flags given the environment defaults (``REPRO_WORKERS``,
+    ``REPRO_CACHE``, ``REPRO_CACHE_DIR``) stay in effect.
+    """
+    from repro.experiments import parallel
+    from repro.experiments.cache import RunCache
+
+    if args.workers is None and args.cache_dir is None and not args.no_cache:
+        return
+    base = parallel.default_execution()
+    workers = base.max_workers if args.workers is None else args.workers
+    if args.no_cache:
+        cache = None
+    elif args.cache_dir is not None:
+        cache = RunCache(args.cache_dir)
+    else:
+        cache = base.cache
+    parallel.configure(max_workers=workers, cache=cache)
+
+
 def _load_workload(args: argparse.Namespace):
     if args.swf:
         workload = read_swf(args.swf)
@@ -177,6 +228,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
+    _configure_execution(args)
     fig = _FIGURES[args.name]()
     print(fig.render())
     return 0
@@ -192,6 +244,7 @@ def cmd_tables(args: argparse.Namespace) -> int:
 def cmd_claims(args: argparse.Namespace) -> int:
     from repro.experiments.claims import build_context, evaluate_claims, render_claims
 
+    _configure_execution(args)
     months = args.months or None
     if months:
         unknown = [m for m in months if m not in MONTHS]
@@ -224,6 +277,7 @@ def cmd_gantt(args: argparse.Namespace) -> int:
 def cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.report import reproduce_all
 
+    _configure_execution(args)
     try:
         report = reproduce_all(
             args.out,
@@ -293,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("name", choices=sorted(_FIGURES))
+    _add_execution_args(figure)
     figure.set_defaults(func=cmd_figure)
 
     sub.add_parser("tables", help="regenerate Tables 3 and 4").set_defaults(
@@ -308,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="restrict to these months (default: all ten)",
     )
+    _add_execution_args(claims)
     claims.set_defaults(func=cmd_claims)
 
     gantt = sub.add_parser("gantt", help="render a schedule as a text Gantt chart")
@@ -332,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument(
         "--no-claims", action="store_true", help="skip the claims certificate"
     )
+    _add_execution_args(reproduce)
     reproduce.set_defaults(func=cmd_reproduce)
 
     convert = sub.add_parser("swf-convert", help="export a synthetic month as SWF")

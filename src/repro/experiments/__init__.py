@@ -2,6 +2,10 @@
 
 - :mod:`repro.experiments.runner` — run one policy on one workload and
   collect every measure the paper reports; run whole matrices.
+- :mod:`repro.experiments.parallel` — fan a grid of picklable run specs
+  across a process pool with per-run error capture and a serial fallback.
+- :mod:`repro.experiments.cache` — content-addressed on-disk cache that
+  lets re-runs skip already-computed grid cells.
 - :mod:`repro.experiments.config` — bench-scale vs. paper-scale settings
   (the ``REPRO_FULL_SCALE=1`` switch).
 - :mod:`repro.experiments.figures` — one function per table/figure of the
@@ -9,7 +13,19 @@
 """
 
 from repro.experiments.runner import PolicyRun, run_matrix, simulate
+from repro.experiments.cache import RunCache
 from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.parallel import (
+    GridOutcome,
+    PolicySpec,
+    RunError,
+    RunSpec,
+    WorkloadSpec,
+    configure,
+    run_all,
+    run_grid,
+    session_stats,
+)
 from repro.experiments.figures import (
     FigureSeries,
     fig1_tree,

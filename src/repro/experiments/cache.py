@@ -1,0 +1,159 @@
+"""Content-addressed on-disk cache for simulation runs.
+
+Every figure and claim in the paper is a grid of independent
+(workload, policy) simulations, and each cell is fully determined by its
+spec: the workload generator inputs, the policy configuration, and the
+simulation semantics.  :class:`RunCache` exploits that determinism by
+persisting each completed :class:`~repro.experiments.runner.PolicyRun` as
+JSON under a key that hashes exactly those inputs (see
+:func:`repro.experiments.parallel.cache_key`), so re-running a benchmark
+or the claims certificate skips every already-computed cell.
+
+Invalidation is by construction: any change to the workload spec, the
+policy spec, or :data:`CACHE_VERSION` yields a different key, and the old
+entry is simply never read again.  ``CACHE_VERSION`` must be bumped
+whenever the *simulation semantics* change (engine event ordering, search
+node accounting, objective definitions, ...), since those are the only
+inputs not captured in the spec itself.  Deleting the cache directory
+(``.repro-cache/`` by default) is always safe.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.runner import PolicyRun
+from repro.metrics.measures import JobMetrics
+from repro.simulator.job import Job, JobState
+
+#: Bump when simulation semantics change in a way specs cannot capture.
+CACHE_VERSION = 1
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def run_to_payload(run: PolicyRun) -> dict:
+    """A JSON-safe dict that round-trips through :func:`run_from_payload`.
+
+    Jobs are stored as flat rows; ``repr``-based float serialization in
+    the json module round-trips every finite float exactly, so metrics
+    recomputed from a cached run (excessive-wait stats, thresholds) are
+    bit-identical to the original.
+    """
+    return {
+        "workload_name": run.workload_name,
+        "policy_name": run.policy_name,
+        "offered_load": run.offered_load,
+        "metrics": run.metrics.as_dict(),
+        "avg_queue_length": run.avg_queue_length,
+        "utilization": run.utilization,
+        "wall_seconds": run.wall_seconds,
+        "policy_stats": {
+            k: v
+            for k, v in run.policy_stats.items()
+            if isinstance(v, (bool, int, float, str))
+        },
+        "jobs": [
+            [
+                j.job_id,
+                j.submit_time,
+                j.nodes,
+                j.runtime,
+                j.requested_runtime,
+                j.user,
+                j.start_time,
+                j.end_time,
+            ]
+            for j in run.jobs
+        ],
+    }
+
+
+def run_from_payload(payload: dict) -> PolicyRun:
+    """Reconstruct a :class:`PolicyRun` written by :func:`run_to_payload`."""
+    jobs = []
+    for job_id, submit, nodes, runtime, requested, user, start, end in payload["jobs"]:
+        job = Job(
+            job_id=int(job_id),
+            submit_time=float(submit),
+            nodes=int(nodes),
+            runtime=float(runtime),
+            requested_runtime=float(requested),
+            user=user,
+        )
+        job.state = JobState.COMPLETED
+        job.start_time = float(start)
+        job.end_time = float(end)
+        jobs.append(job)
+    metrics = dict(payload["metrics"])
+    metrics["n_jobs"] = int(metrics["n_jobs"])
+    return PolicyRun(
+        workload_name=payload["workload_name"],
+        policy_name=payload["policy_name"],
+        offered_load=float(payload["offered_load"]),
+        metrics=JobMetrics(**metrics),
+        avg_queue_length=float(payload["avg_queue_length"]),
+        utilization=float(payload["utilization"]),
+        jobs=jobs,
+        policy_stats=dict(payload.get("policy_stats", {})),
+        wall_seconds=float(payload.get("wall_seconds", 0.0)),
+    )
+
+
+class RunCache:
+    """JSON store keyed by content hash, sharded one directory per key prefix.
+
+    Safe under concurrent writers: entries are written to a temporary file
+    and atomically renamed, and a corrupt or truncated entry reads as a
+    miss rather than an error.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else Path(DEFAULT_CACHE_DIR)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> PolicyRun | None:
+        """The cached run for ``key``, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            return run_from_payload(payload["run"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, run: PolicyRun, spec_note: dict | None = None) -> Path:
+        """Persist ``run`` under ``key``; returns the entry's path.
+
+        ``spec_note`` is a human-readable description of the spec stored
+        alongside the run for debuggability; it is never read back.
+        """
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": CACHE_VERSION, "spec": spec_note, "run": run_to_payload(run)}
+        tmp = path.with_suffix(f".tmp{id(run)}")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.replace(path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for entry in self.root.glob("*/*.json"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunCache({str(self.root)!r}, {len(self)} entries)"

@@ -16,12 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.backfill import fcfs_backfill, lxf_backfill
-from repro.backfill.variants import LookaheadPolicy, SelectiveBackfillPolicy
-from repro.core.scheduler import make_policy
 from repro.experiments.config import ExperimentScale, current_scale
-from repro.experiments.figures import HIGH_LOAD, _month_at_load
-from repro.experiments.runner import PolicyRun, simulate
+from repro.experiments.figures import HIGH_LOAD
+from repro.experiments.parallel import PolicySpec, RunSpec, WorkloadSpec, run_all
+from repro.experiments.runner import PolicyRun
 from repro.metrics.excessive import reference_thresholds
 from repro.workloads.calibration import MONTH_ORDER
 
@@ -70,36 +68,68 @@ def build_context(
     exp: ExperimentScale | None = None,
     months: list[str] | None = None,
 ) -> ClaimContext:
-    """Run the shared high-load simulation matrix once."""
+    """Run the shared high-load simulation matrix once.
+
+    The whole month x policy matrix (plus the Figure-6 endpoints) is
+    submitted as a single grid to :func:`repro.experiments.parallel
+    .run_all`, so it parallelizes across every cell at once and benefits
+    from the run cache under the session's execution config.
+    """
     exp = exp or current_scale()
     months = months or list(MONTH_ORDER)
     L1 = exp.L(1000)
     L2 = exp.L(2000)
-    policies: dict[str, Callable] = {
-        "fcfs-bf": fcfs_backfill,
-        "lxf-bf": lxf_backfill,
-        "dds-lxf": lambda: make_policy("dds", "lxf", node_limit=L1),
-        "dds-fcfs": lambda: make_policy("dds", "fcfs", node_limit=L2),
-        "lds-lxf": lambda: make_policy("lds", "lxf", node_limit=L2),
-        "lookahead": LookaheadPolicy,
-        "selective": SelectiveBackfillPolicy,
+    policies: dict[str, PolicySpec] = {
+        "fcfs-bf": PolicySpec("fcfs-bf", node_limit=0),
+        "lxf-bf": PolicySpec("lxf-bf", node_limit=0),
+        "dds-lxf": PolicySpec("dds/lxf/dynB", node_limit=L1),
+        "dds-fcfs": PolicySpec("dds/fcfs/dynB", node_limit=L2),
+        "lds-lxf": PolicySpec("lds/lxf/dynB", node_limit=L2),
+        "lookahead": PolicySpec("lookahead", node_limit=0),
+        "selective": PolicySpec("selective", node_limit=0),
     }
-    runs: dict[tuple[str, str], PolicyRun] = {}
-    thresholds: dict[str, float] = {}
-    for month in months:
-        workload = _month_at_load(month, exp.seed, exp.job_scale, HIGH_LOAD)
-        for key, factory in policies.items():
-            runs[(key, month)] = simulate(workload, factory())
-        thresholds[month] = reference_thresholds(runs[("fcfs-bf", month)].jobs)[0]
 
-    context = ClaimContext(months=months, runs=runs, thresholds=thresholds)
+    def workload_spec(month: str) -> WorkloadSpec:
+        return WorkloadSpec(
+            month=month, seed=exp.seed, scale=exp.job_scale, load=HIGH_LOAD
+        )
 
+    grid = [
+        RunSpec(workload_spec(month), policy, label=key)
+        for month in months
+        for key, policy in policies.items()
+    ]
     # Figure-6 endpoints on the hard month (January 2004).
     hard = "2004-01"
     if hard in months:
-        workload = _month_at_load(hard, exp.seed, exp.job_scale, HIGH_LOAD)
-        small = simulate(workload, make_policy("dds", "lxf", node_limit=exp.L(1000)))
-        large = simulate(workload, make_policy("dds", "lxf", node_limit=exp.L(10000)))
+        grid.append(
+            RunSpec(
+                workload_spec(hard),
+                PolicySpec("dds/lxf/dynB", node_limit=exp.L(1000)),
+                label="fig6-small",
+            )
+        )
+        grid.append(
+            RunSpec(
+                workload_spec(hard),
+                PolicySpec("dds/lxf/dynB", node_limit=exp.L(10000)),
+                label="fig6-large",
+            )
+        )
+    results = run_all(grid)
+
+    n_main = len(months) * len(policies)
+    runs: dict[tuple[str, str], PolicyRun] = {}
+    for spec, run in zip(grid[:n_main], results[:n_main]):
+        runs[(spec.label, spec.workload_name)] = run
+    thresholds = {
+        month: reference_thresholds(runs[("fcfs-bf", month)].jobs)[0]
+        for month in months
+    }
+
+    context = ClaimContext(months=months, runs=runs, thresholds=thresholds)
+    if hard in months:
+        small, large = results[n_main], results[n_main + 1]
         context.extras["fig6"] = (small, large, thresholds[hard])
     return context
 

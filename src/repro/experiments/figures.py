@@ -14,8 +14,6 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Mapping, Sequence
 
-from repro.backfill import fcfs_backfill, lxf_backfill
-from repro.core.scheduler import make_policy
 from repro.core.search_tree import (
     dds_order,
     lds_order,
@@ -23,13 +21,12 @@ from repro.core.search_tree import (
     num_paths,
 )
 from repro.experiments.config import ExperimentScale, current_scale
-from repro.experiments.runner import PolicyRun, simulate
+from repro.experiments.parallel import PolicySpec, RunSpec, WorkloadSpec, run_all
+from repro.experiments.runner import PolicyRun
 from repro.metrics.classes import avg_wait_grid
 from repro.metrics.excessive import reference_thresholds
 from repro.metrics.report import format_grid, format_series
-from repro.util.timeunits import HOUR
 from repro.workloads.calibration import MONTH_ORDER, MONTHS
-from repro.workloads.estimates import MenuEstimates, apply_estimates
 from repro.workloads.scaling import scale_to_load
 from repro.workloads.stats import (
     format_job_mix,
@@ -98,6 +95,56 @@ def _workloads(
 
 def _labels(workloads: Sequence[Workload]) -> list[str]:
     return [MONTHS[w.name].label for w in workloads]
+
+
+# ----------------------------------------------------------------------
+# Run-spec helpers: every simulation below goes through the parallel
+# executor (repro.experiments.parallel), so figures transparently honour
+# the session's --workers / run-cache configuration.
+# ----------------------------------------------------------------------
+def _specs(
+    exp: ExperimentScale,
+    load: float | None = None,
+    months: Sequence[str] | None = None,
+    estimates: str | None = None,
+) -> list[WorkloadSpec]:
+    names = list(months) if months is not None else list(MONTH_ORDER)
+    return [
+        WorkloadSpec(
+            month=m,
+            seed=exp.seed,
+            scale=exp.job_scale,
+            load=load,
+            estimates=estimates,
+            estimates_seed=exp.seed if estimates is not None else 0,
+        )
+        for m in names
+    ]
+
+
+def _spec_labels(specs: Sequence[WorkloadSpec]) -> list[str]:
+    return [MONTHS[s.month].label for s in specs]
+
+
+def _search_spec(
+    algorithm: str,
+    heuristic: str,
+    node_limit: int,
+    bound_hours: float | None = None,
+    use_actual: bool = True,
+) -> PolicySpec:
+    bound = "dynB" if bound_hours is None else f"fixB{bound_hours:g}h"
+    return PolicySpec(
+        f"{algorithm}/{heuristic}/{bound}",
+        node_limit=node_limit,
+        use_actual_runtime=use_actual,
+    )
+
+
+def _backfill_spec(spec: str, use_actual: bool = True) -> PolicySpec:
+    # node_limit is irrelevant for backfill policies; pin it to 0 so one
+    # cached run serves every grid regardless of the search budget L.
+    return PolicySpec(spec, node_limit=0, use_actual_runtime=use_actual)
 
 
 # ----------------------------------------------------------------------
@@ -171,26 +218,29 @@ def fig2_fixed_bound_sensitivity(
     omegas_hours: Sequence[float] = (50.0, 100.0, 300.0),
 ) -> FigureSeries:
     exp = exp or current_scale()
-    workloads = _workloads(exp)
+    specs = _specs(exp)
     L = exp.L(1000)
+    grid = [
+        RunSpec(w, _search_spec("dds", "lxf", L, bound_hours=omega_h))
+        for omega_h in omegas_hours
+        for w in specs
+    ]
+    runs = run_all(grid)
     panels: dict[str, dict[str, list[float]]] = {
         "max wait (h)": {},
         "avg bounded slowdown": {},
     }
-    for omega_h in omegas_hours:
+    for i, omega_h in enumerate(omegas_hours):
         key = f"w={omega_h:g}h"
-        max_waits, slowdowns = [], []
-        for w in workloads:
-            policy = make_policy("dds", "lxf", bound=omega_h * HOUR, node_limit=L)
-            run = simulate(w, policy)
-            max_waits.append(run.metrics.max_wait_hours)
-            slowdowns.append(run.metrics.avg_bounded_slowdown)
-        panels["max wait (h)"][key] = max_waits
-        panels["avg bounded slowdown"][key] = slowdowns
+        chunk = runs[i * len(specs) : (i + 1) * len(specs)]
+        panels["max wait (h)"][key] = [r.metrics.max_wait_hours for r in chunk]
+        panels["avg bounded slowdown"][key] = [
+            r.metrics.avg_bounded_slowdown for r in chunk
+        ]
     return FigureSeries(
         figure="Figure 2",
         title="DDS/lxf sensitivity to fixed target bound (original load)",
-        row_labels=_labels(workloads),
+        row_labels=_spec_labels(specs),
         panels=panels,
         notes=[f"R*=T, L={L} (paper: 1K at full scale)"],
     )
@@ -200,22 +250,26 @@ def fig2_fixed_bound_sensitivity(
 # Shared three-policy comparison used by Figures 3, 4 and 8
 # ----------------------------------------------------------------------
 def _three_policy_runs(
-    workloads: Sequence[Workload],
+    specs: Sequence[WorkloadSpec],
     L_for: Mapping[str, int],
     use_actual: bool = True,
 ) -> dict[str, list[PolicyRun]]:
     """Run FCFS-BF, LXF-BF and DDS/lxf/dynB over the workloads."""
-    runs: dict[str, list[PolicyRun]] = {"FCFS-BF": [], "LXF-BF": [], "DDS/lxf/dynB": []}
-    for w in workloads:
-        runs["FCFS-BF"].append(simulate(w, fcfs_backfill(use_actual)))
-        runs["LXF-BF"].append(simulate(w, lxf_backfill(use_actual)))
-        dds = make_policy(
-            "dds",
-            "lxf",
-            node_limit=L_for[w.name],
-            runtime_source=use_actual,
+    grid = []
+    for w in specs:
+        grid.append(RunSpec(w, _backfill_spec("fcfs-bf", use_actual), label="FCFS-BF"))
+        grid.append(RunSpec(w, _backfill_spec("lxf-bf", use_actual), label="LXF-BF"))
+        grid.append(
+            RunSpec(
+                w,
+                _search_spec("dds", "lxf", L_for[w.month], use_actual=use_actual),
+                label="DDS/lxf/dynB",
+            )
         )
-        runs["DDS/lxf/dynB"].append(simulate(w, dds))
+    results = run_all(grid)
+    runs: dict[str, list[PolicyRun]] = {"FCFS-BF": [], "LXF-BF": [], "DDS/lxf/dynB": []}
+    for spec, run in zip(grid, results):
+        runs[spec.label].append(run)
     return runs
 
 
@@ -269,13 +323,13 @@ def _comparison_panels(
 
 def fig3_original_load(exp: ExperimentScale | None = None) -> FigureSeries:
     exp = exp or current_scale()
-    workloads = _workloads(exp)
+    specs = _specs(exp)
     L = exp.L(1000)
-    runs = _three_policy_runs(workloads, {w.name: L for w in workloads})
+    runs = _three_policy_runs(specs, {w.month: L for w in specs})
     return FigureSeries(
         figure="Figure 3",
         title="Policy comparison under original load",
-        row_labels=_labels(workloads),
+        row_labels=_spec_labels(specs),
         panels=_comparison_panels(runs),
         notes=[f"R*=T, L={L} (paper: 1K at full scale)"],
     )
@@ -283,17 +337,17 @@ def fig3_original_load(exp: ExperimentScale | None = None) -> FigureSeries:
 
 def fig4_high_load(exp: ExperimentScale | None = None) -> FigureSeries:
     exp = exp or current_scale()
-    workloads = _workloads(exp, load=HIGH_LOAD)
+    specs = _specs(exp, load=HIGH_LOAD)
     # Paper: L = 1K everywhere except January 2004 at 8K.
     L_for = {
-        w.name: exp.L(8000) if w.name == "2004-01" else exp.L(1000)
-        for w in workloads
+        w.month: exp.L(8000) if w.month == "2004-01" else exp.L(1000)
+        for w in specs
     }
-    runs = _three_policy_runs(workloads, L_for)
+    runs = _three_policy_runs(specs, L_for)
     return FigureSeries(
         figure="Figure 4",
         title=f"Policy comparison under high load (rho={HIGH_LOAD})",
-        row_labels=_labels(workloads),
+        row_labels=_spec_labels(specs),
         panels=_comparison_panels(runs, with_excessive=True, with_queue=True),
         notes=[
             f"R*=T; L={exp.L(1000)} except 1/04 at {exp.L(8000)} "
@@ -309,15 +363,16 @@ def fig5_job_classes(
     exp: ExperimentScale | None = None, month: str = "2003-07"
 ) -> FigureSeries:
     exp = exp or current_scale()
-    workload = _month_at_load(month, exp.seed, exp.job_scale, HIGH_LOAD)
+    spec = WorkloadSpec(month, seed=exp.seed, scale=exp.job_scale, load=HIGH_LOAD)
     L = exp.L(1000)
-    runs = {
-        "FCFS-BF": simulate(workload, fcfs_backfill()),
-        "LXF-BF": simulate(workload, lxf_backfill()),
-        "DDS/lxf/dynB": simulate(
-            workload, make_policy("dds", "lxf", node_limit=L)
-        ),
-    }
+    results = run_all(
+        [
+            RunSpec(spec, _backfill_spec("fcfs-bf"), label="FCFS-BF"),
+            RunSpec(spec, _backfill_spec("lxf-bf"), label="LXF-BF"),
+            RunSpec(spec, _search_spec("dds", "lxf", L), label="DDS/lxf/dynB"),
+        ]
+    )
+    runs = dict(zip(("FCFS-BF", "LXF-BF", "DDS/lxf/dynB"), results))
     blocks = []
     for name, run in runs.items():
         grid = avg_wait_grid(run.jobs)
@@ -341,16 +396,21 @@ def fig6_node_limit(
     paper_limits: Sequence[int] = (1000, 2000, 4000, 8000, 10000, 100000),
 ) -> FigureSeries:
     exp = exp or current_scale()
-    workload = _month_at_load(month, exp.seed, exp.job_scale, HIGH_LOAD)
-    fcfs_run = simulate(workload, fcfs_backfill())
-    lxf_run = simulate(workload, lxf_backfill())
-    t_max, _ = reference_thresholds(fcfs_run.jobs)
-
+    spec = WorkloadSpec(month, seed=exp.seed, scale=exp.job_scale, load=HIGH_LOAD)
     limits = [exp.L(l) for l in paper_limits]
     row_labels = [f"L={l}" for l in limits]
-    dds_runs = [
-        simulate(workload, make_policy("dds", "lxf", node_limit=l)) for l in limits
-    ]
+    results = run_all(
+        [
+            RunSpec(spec, _backfill_spec("fcfs-bf"), label="FCFS-BF"),
+            RunSpec(spec, _backfill_spec("lxf-bf"), label="LXF-BF"),
+        ]
+        + [
+            RunSpec(spec, _search_spec("dds", "lxf", l), label=f"L={l}")
+            for l in limits
+        ]
+    )
+    fcfs_run, lxf_run, dds_runs = results[0], results[1], results[2:]
+    t_max, _ = reference_thresholds(fcfs_run.jobs)
 
     def row(value_fn) -> dict[str, list[float]]:
         return {
@@ -381,20 +441,27 @@ def fig6_node_limit(
 # ----------------------------------------------------------------------
 def fig7_algorithms(exp: ExperimentScale | None = None) -> FigureSeries:
     exp = exp or current_scale()
-    workloads = _workloads(exp, load=HIGH_LOAD)
+    specs = _specs(exp, load=HIGH_LOAD)
     L = exp.L(2000)
     policies = {
-        "DDS/fcfs/dynB": lambda: make_policy("dds", "fcfs", node_limit=L),
-        "DDS/lxf/dynB": lambda: make_policy("dds", "lxf", node_limit=L),
-        "LDS/lxf/dynB": lambda: make_policy("lds", "lxf", node_limit=L),
+        "DDS/fcfs/dynB": _search_spec("dds", "fcfs", L),
+        "DDS/lxf/dynB": _search_spec("dds", "lxf", L),
+        "LDS/lxf/dynB": _search_spec("lds", "lxf", L),
     }
-    runs: dict[str, list[PolicyRun]] = {k: [] for k in policies}
-    thresholds = []
-    for w in workloads:
-        fcfs_run = simulate(w, fcfs_backfill())
-        thresholds.append(reference_thresholds(fcfs_run.jobs)[0])
-        for key, factory in policies.items():
-            runs[key].append(simulate(w, factory()))
+    grid = [RunSpec(w, _backfill_spec("fcfs-bf"), label="FCFS-BF") for w in specs]
+    grid += [
+        RunSpec(w, policy, label=key)
+        for key, policy in policies.items()
+        for w in specs
+    ]
+    results = run_all(grid)
+    thresholds = [
+        reference_thresholds(r.jobs)[0] for r in results[: len(specs)]
+    ]
+    runs: dict[str, list[PolicyRun]] = {}
+    for i, key in enumerate(policies):
+        lo = (i + 1) * len(specs)
+        runs[key] = results[lo : lo + len(specs)]
     panels = {
         "avg bounded slowdown": {
             k: [r.metrics.avg_bounded_slowdown for r in v] for k, v in runs.items()
@@ -407,7 +474,7 @@ def fig7_algorithms(exp: ExperimentScale | None = None) -> FigureSeries:
     return FigureSeries(
         figure="Figure 7",
         title=f"Search algorithms and branching heuristics (rho={HIGH_LOAD})",
-        row_labels=_labels(workloads),
+        row_labels=_spec_labels(specs),
         panels=panels,
         notes=[f"R*=T, L={L} (paper: 2K at full scale)"],
     )
@@ -418,13 +485,10 @@ def fig7_algorithms(exp: ExperimentScale | None = None) -> FigureSeries:
 # ----------------------------------------------------------------------
 def fig8_requested_runtimes(exp: ExperimentScale | None = None) -> FigureSeries:
     exp = exp or current_scale()
-    base = _workloads(exp, load=HIGH_LOAD)
-    workloads = [
-        apply_estimates(w, MenuEstimates(), seed=exp.seed) for w in base
-    ]
+    specs = _specs(exp, load=HIGH_LOAD, estimates="menu")
     L = exp.L(4000)
     runs = _three_policy_runs(
-        workloads, {w.name: L for w in workloads}, use_actual=False
+        specs, {w.month: L for w in specs}, use_actual=False
     )
     panels = _comparison_panels(runs, with_excessive=True)
     # The paper's Fig 8 shows four panels; drop the two count/avg extras.
@@ -434,7 +498,7 @@ def fig8_requested_runtimes(exp: ExperimentScale | None = None) -> FigureSeries:
     return FigureSeries(
         figure="Figure 8",
         title=f"Inaccurate requested runtimes (R*=R, rho={HIGH_LOAD})",
-        row_labels=_labels(workloads),
+        row_labels=_spec_labels(specs),
         panels=panels,
         notes=[f"menu estimate model, L={L} (paper: 4K at full scale)"],
     )

@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.experiments import figures as fig_mod
+from repro.experiments import parallel
 from repro.experiments.claims import build_context, evaluate_claims, render_claims
 from repro.experiments.config import ExperimentScale, current_scale
 
@@ -47,6 +48,7 @@ def reproduce_all(
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     say = progress or (lambda line: None)
+    stats = parallel.reset_session_stats()
 
     index_lines = [
         "# Reproduction report",
@@ -87,6 +89,10 @@ def reproduce_all(
         say(f"claims: {sum(r.passed for r in results)}/{len(results)} "
             f"({time.perf_counter() - started:.1f} s)")
         index_lines += ["## Reproduction certificate", "", "```", text, "```", ""]
+
+    if stats.runs:
+        say(f"execution: {stats.summary()}")
+        index_lines += ["## Execution", "", stats.summary(), ""]
 
     report = out / "REPORT.md"
     report.write_text("\n".join(index_lines), encoding="utf-8")

@@ -66,15 +66,26 @@ def simulate(workload: Workload, policy: SchedulingPolicy) -> PolicyRun:
 def run_matrix(
     workloads: Sequence[Workload],
     policies: Mapping[str, PolicyFactory],
+    max_workers: int | None = 1,
+    cache=None,
 ) -> dict[tuple[str, str], PolicyRun]:
     """Simulate every policy on every workload.
 
     Returns ``{(workload_name, policy_key): PolicyRun}``.  ``policies``
     maps a report key (e.g. ``"FCFS-BF"``) to a factory producing a fresh
-    policy instance.
+    policy instance.  ``max_workers`` above 1 (or 0 for all cores) fans
+    the grid across a process pool, and ``cache`` (a
+    :class:`~repro.experiments.cache.RunCache`) skips already-computed
+    cells; see :mod:`repro.experiments.parallel`.  Any failed run raises
+    after the rest of the grid has completed.
     """
-    results: dict[tuple[str, str], PolicyRun] = {}
-    for workload in workloads:
-        for key, factory in policies.items():
-            results[(workload.name, key)] = simulate(workload, factory())
-    return results
+    from repro.experiments.parallel import RunSpec, run_grid
+
+    specs = [
+        RunSpec(workload=workload, policy=factory, label=key)
+        for workload in workloads
+        for key, factory in policies.items()
+    ]
+    outcome = run_grid(specs, max_workers=max_workers, cache=cache)
+    outcome.raise_errors()
+    return outcome.by_key()

@@ -14,6 +14,15 @@ from repro.util.timeunits import HOUR
 _JOB_COUNTER = itertools.count(1)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_execution():
+    """Keep each test's parallel/cache configuration from leaking."""
+    yield
+    from repro.experiments import parallel
+
+    parallel.reset_execution()
+
+
 def make_job(
     job_id: int | None = None,
     submit: float = 0.0,

@@ -8,10 +8,14 @@ LIFO reserve/release reversibility.
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.profile import AvailabilityProfile
+from repro.simulator.policy import RunningJob
+
+from tests.conftest import make_job
 
 CAPACITY = 16
 
@@ -112,3 +116,89 @@ def test_free_at_matches_segments(reservations, t):
         if time <= t:
             expected = free
     assert p.free_at(t) == expected
+
+
+@given(st.lists(reservation, max_size=10), reservation)
+@settings(max_examples=150, deadline=None)
+def test_failed_reserve_leaves_profile_unchanged(reservations, attempt):
+    """A checked reserve either succeeds or is a perfect no-op."""
+    start, duration, nodes = attempt
+    p = _build(reservations)
+    before = p.segments()
+    if p.min_free(start, start + duration) >= nodes:
+        p.reserve(start, duration, nodes)
+        p.check_invariants()
+    else:
+        with pytest.raises(ValueError):
+            p.reserve(start, duration, nodes)
+        assert p.segments() == before
+        p.check_invariants()
+
+
+@given(st.lists(reservation, min_size=1, max_size=10))
+@settings(max_examples=150, deadline=None)
+def test_arbitrary_feasible_reserves_round_trip(reservations):
+    """LIFO reversibility holds for *any* feasible start, not just
+    earliest-fit ones, with free counts in bounds at every step."""
+    p = AvailabilityProfile(CAPACITY, origin=0.0)
+    snapshots = [p.segments()]
+    tokens = []
+    for start, duration, nodes in reservations:
+        if p.min_free(start, start + duration) < nodes:
+            continue  # infeasible at this raw start: skip, don't relocate
+        tokens.append(p.reserve(start, duration, nodes))
+        p.check_invariants()
+        snapshots.append(p.segments())
+    for token in reversed(tokens):
+        snapshots.pop()
+        p.release(token)
+        p.check_invariants()
+        assert p.segments() == snapshots[-1]
+    assert p.segments() == [(0.0, CAPACITY)]
+
+
+running_job = st.tuples(
+    st.integers(min_value=1, max_value=CAPACITY // 2),
+    st.floats(min_value=0.0, max_value=300.0, allow_nan=False),
+)
+
+
+@given(st.lists(running_job, max_size=8), st.floats(min_value=0.0, max_value=100.0))
+@settings(max_examples=150, deadline=None)
+def test_from_running_satisfies_invariants(jobs, now):
+    # Trim the running set so it fits the machine, as the engine guarantees.
+    selected, occupied = [], 0
+    for nodes, release in jobs:
+        if occupied + nodes <= CAPACITY:
+            selected.append(
+                RunningJob(job=make_job(nodes=nodes), release_time=release)
+            )
+            occupied += nodes
+    p = AvailabilityProfile.from_running(CAPACITY, now, selected)
+    p.check_invariants()
+    assert p.origin == now
+    # Jobs whose believed release is (effectively) now occupy nothing.
+    still_running = sum(r.nodes for r in selected if r.release_time > now + 1e-9)
+    assert p.free_at(now) == CAPACITY - still_running
+    # After the last believed release everything is free again.
+    horizon = max([now] + [max(r.release_time, now) for r in selected])
+    assert p.free_at(horizon + 1.0) == CAPACITY
+
+
+@given(st.lists(reservation, max_size=10), reservation)
+@settings(max_examples=100, deadline=None)
+def test_copy_is_independent(reservations, extra):
+    start, duration, nodes = extra
+    p = _build(reservations)
+    clone = p.copy()
+    assert clone == p and clone is not p
+    # Mutating the copy (at earliest fit, so it always succeeds) must not
+    # touch the original, and vice versa.
+    fit = clone.earliest_start(nodes, duration, start)
+    clone.reserve(fit, duration, nodes)
+    assert p.segments() != clone.segments() or nodes == 0
+    original = p.segments()
+    p.reserve(p.earliest_start(1, 1.0, 0.0), 1.0, 1)
+    clone.check_invariants()
+    p.check_invariants()
+    assert original != p.segments()
