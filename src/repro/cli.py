@@ -312,6 +312,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Search-based job scheduling (CLUSTER 2005) reproduction",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable debug-mode invariant checking for every simulation "
+        "(equivalent to REPRO_SANITIZE=1; goes before the subcommand)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("months", help="list the calibrated months").set_defaults(
@@ -404,6 +410,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.sanitize:
+        from repro.util.sanitize import set_sanitize
+
+        set_sanitize(True)
     try:
         return args.func(args)
     except CliError as exc:

@@ -29,19 +29,19 @@ from repro.util.timeunits import MINUTE
 
 #: A heuristic maps ``(job, now, planning_runtime)`` to a sortable key;
 #: smaller keys come first (higher priority).
-HeuristicKey = Callable[[Job, float, float], tuple]
+HeuristicKey = Callable[[Job, float, float], "tuple[float, ...]"]
 
 #: Resolves a job's planning runtime (R*); policies pass their
 #: ``runtime_of`` bound method.
 RuntimeOf = Callable[[Job], float]
 
 
-def fcfs_key(job: Job, now: float, runtime: float) -> tuple:
+def fcfs_key(job: Job, now: float, runtime: float) -> tuple[float, ...]:
     """Earlier submission first; job id breaks ties deterministically."""
     return (job.submit_time, job.job_id)
 
 
-def lxf_key(job: Job, now: float, runtime: float) -> tuple:
+def lxf_key(job: Job, now: float, runtime: float) -> tuple[float, ...]:
     """Largest current bounded slowdown first.
 
     The slowdown a job would have if started right now, using the runtime
@@ -52,7 +52,7 @@ def lxf_key(job: Job, now: float, runtime: float) -> tuple:
     return (-slowdown, job.submit_time, job.job_id)
 
 
-def sjf_key(job: Job, now: float, runtime: float) -> tuple:
+def sjf_key(job: Job, now: float, runtime: float) -> tuple[float, ...]:
     """Shortest (scheduler-visible) runtime first."""
     return (runtime, job.submit_time, job.job_id)
 

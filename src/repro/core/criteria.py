@@ -205,6 +205,10 @@ class MultiScore:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MultiScore):
             return NotImplemented
+        # Deliberately exact, not tolerance-based: together with __lt__
+        # this must form a strict weak ordering, and an epsilon equality
+        # is not transitive (a~b, b~c, a!~c), which would make the
+        # search's best-score bookkeeping order-dependent.
         return self.levels == other.levels
 
 

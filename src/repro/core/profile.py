@@ -27,12 +27,14 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from repro.util.sanitize import require, sanitize_enabled
+from repro.util.timeunits import TIME_EPS, time_eq, time_lt
 from repro.util.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.simulator.policy import RunningJob
 
-_EPS = 1e-9
+_EPS = TIME_EPS
 
 
 @dataclass(frozen=True)
@@ -93,7 +95,7 @@ class AvailabilityProfile:
         times = [now]
         free = [capacity - occupied]
         for release_time, nodes in releases:
-            if release_time - times[-1] <= _EPS:
+            if time_eq(release_time, times[-1]):
                 # Release coincides with the current breakpoint: fold it in.
                 free[-1] += nodes
             else:
@@ -147,7 +149,7 @@ class AvailabilityProfile:
         i = max(bisect_right(self.times, start) - 1, 0)
         lowest = self.free[i]
         n = len(self.times)
-        while i + 1 < n and self.times[i + 1] < end - _EPS:
+        while i + 1 < n and time_lt(self.times[i + 1], end):
             i += 1
             lowest = min(lowest, self.free[i])
         return lowest
@@ -177,7 +179,7 @@ class AvailabilityProfile:
             end = candidate + duration
             j = i
             blocked = -1
-            while j + 1 < n and times[j + 1] < end - _EPS:
+            while j + 1 < n and time_lt(times[j + 1], end):
                 j += 1
                 if free[j] < nodes:
                     blocked = j
@@ -199,7 +201,7 @@ class AvailabilityProfile:
         i = bisect_right(self.times, t) - 1
         if i < 0:
             raise ValueError(f"time {t} precedes profile origin {self.times[0]}")
-        if abs(self.times[i] - t) <= _EPS:
+        if time_eq(self.times[i], t):
             return i, False
         self.times.insert(i + 1, t)
         self.free.insert(i + 1, self.free[i])
@@ -219,6 +221,8 @@ class AvailabilityProfile:
         if check:
             check_positive("duration", duration)
             check_positive("nodes", nodes)
+        sanitize = sanitize_enabled()
+        occupied_before = self._occupied_node_seconds() if sanitize else 0.0
         end = start + duration
         i, created_start = self._ensure_breakpoint(start)
         j, created_end = self._ensure_breakpoint(end)
@@ -235,7 +239,10 @@ class AvailabilityProfile:
             )
         for k in range(i, j):
             free[k] -= nodes
-        return ReservationToken(start, end, nodes, created_start, created_end)
+        token = ReservationToken(start, end, nodes, created_start, created_end)
+        if sanitize:
+            self._sanitize_delta(occupied_before, nodes * (end - start), "reserve")
+        return token
 
     def release(self, token: ReservationToken) -> None:
         """Undo a :meth:`reserve`.
@@ -244,11 +251,13 @@ class AvailabilityProfile:
         pairs (the search's depth-first discipline guarantees this); the
         profile is then restored exactly.
         """
+        sanitize = sanitize_enabled()
+        occupied_before = self._occupied_node_seconds() if sanitize else 0.0
         i = bisect_right(self.times, token.start) - 1
         j = bisect_right(self.times, token.end) - 1
-        if i < 0 or abs(self.times[i] - token.start) > _EPS:
+        if i < 0 or not time_eq(self.times[i], token.start):
             raise ValueError("release token does not match profile state")
-        if j < 0 or abs(self.times[j] - token.end) > _EPS:
+        if j < 0 or not time_eq(self.times[j], token.end):
             raise ValueError("release token does not match profile state")
         for k in range(i, j):
             self.free[k] += token.nodes
@@ -258,6 +267,12 @@ class AvailabilityProfile:
             del self.times[j], self.free[j]
         if token.created_start:
             del self.times[i], self.free[i]
+        if sanitize:
+            self._sanitize_delta(
+                occupied_before,
+                -token.nodes * (token.end - token.start),
+                "release",
+            )
 
     def copy(self) -> "AvailabilityProfile":
         """An independent deep copy."""
@@ -265,6 +280,36 @@ class AvailabilityProfile:
         clone.times = self.times.copy()
         clone.free = self.free.copy()
         return clone
+
+    # ------------------------------------------------------------------
+    # Debug-mode invariant checks (see repro.util.sanitize)
+    # ------------------------------------------------------------------
+    def _occupied_node_seconds(self) -> float:
+        """Integral of occupied nodes over the breakpoint span.
+
+        The implicit tail beyond the last breakpoint has all nodes free, so
+        it contributes nothing; extending the span with new breakpoints
+        therefore never changes the integral by itself, which makes this a
+        sound conservation measure across reserve/release pairs.
+        """
+        total = 0.0
+        times, free = self.times, self.free
+        for i in range(len(times) - 1):
+            total += (self.capacity - free[i]) * (times[i + 1] - times[i])
+        return total
+
+    def _sanitize_delta(
+        self, occupied_before: float, expected_delta: float, operation: str
+    ) -> None:
+        """A reserve/release must change occupancy by exactly its area."""
+        self.check_invariants()
+        delta = self._occupied_node_seconds() - occupied_before
+        tolerance = 1e-6 * max(1.0, abs(expected_delta))
+        require(
+            abs(delta - expected_delta) <= tolerance,
+            f"profile {operation} does not conserve node-seconds: occupancy "
+            f"changed by {delta!r}, expected {expected_delta!r}",
+        )
 
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
@@ -283,9 +328,12 @@ class AvailabilityProfile:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, AvailabilityProfile):
             return NotImplemented
+        # Structural identity is deliberately exact (bit-for-bit): profile
+        # equality backs the LIFO release round-trip tests, where any
+        # tolerance would mask a restore bug.
         return (
             self.capacity == other.capacity
-            and self.times == other.times
+            and self.times == other.times  # simlint: skip=SIM003
             and self.free == other.free
         )
 

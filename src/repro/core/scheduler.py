@@ -32,6 +32,7 @@ from repro.core.criteria import (
 from repro.core.profile import AvailabilityProfile
 from repro.core.search import DiscrepancySearch, SearchProblem
 from repro.predict.source import RuntimeSource, resolve_runtime_source
+from repro.util.sanitize import require, sanitize_enabled
 from repro.util.timeunits import WEEK
 from repro.simulator.cluster import Cluster
 from repro.simulator.job import Job
@@ -147,6 +148,13 @@ class SearchSchedulingPolicy(SchedulingPolicy):
         )
         omega = self.bound.value(now, waiting)
         profile = AvailabilityProfile.from_running(cluster.capacity, now, running)
+        sanitize = sanitize_enabled()
+        if sanitize:
+            profile.check_invariants()
+            require(
+                omega >= 0,
+                f"target wait bound must be >= 0, got omega={omega} at t={now}",
+            )
         evaluator = None
         if self.criteria is not None:
             overuse: dict[str, float] = {}
@@ -188,7 +196,19 @@ class SearchSchedulingPolicy(SchedulingPolicy):
             self.stats["improved_decisions"] += 1
         if result.anytime:
             self.anytime_nodes.append((len(ordered), result.anytime[-1][0]))
-        return result.jobs_startable_now(now)
+        startable = result.jobs_startable_now(now)
+        if sanitize:
+            # The search must leave the profile exactly as it found it
+            # (LIFO release discipline) and may only start jobs that fit
+            # the nodes free at this instant.
+            profile.check_invariants()
+            demanded = sum(job.nodes for job in startable)
+            require(
+                demanded <= cluster.free_nodes,
+                f"search chose jobs needing {demanded} nodes with only "
+                f"{cluster.free_nodes} free at t={now}",
+            )
+        return startable
 
     def on_start(self, job: Job, now: float) -> None:
         if self.usage_tracker is not None:

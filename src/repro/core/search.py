@@ -28,7 +28,7 @@ from __future__ import annotations
 import time as _wallclock
 
 from dataclasses import dataclass
-from typing import Callable, Union
+from typing import Any, Callable, Union
 
 from repro.core.criteria import CriteriaEvaluator, MultiScore
 from repro.core.objective import ObjectiveConfig, ScheduleScore
@@ -60,7 +60,7 @@ def resolve_runtimes(problem: "SearchProblem") -> dict[int, float]:
 
 def build_strategy(
     problem: "SearchProblem", rt: dict[int, float]
-) -> tuple[tuple, Callable, Callable, Callable]:
+) -> "tuple[tuple[float, ...], Callable[..., Any], Callable[..., Any], Callable[..., Any]]":
     """The scoring strategy for a problem: ``(acc0, extend, score, lower)``.
 
     Shared by the tree search and the local-search improver so both score
@@ -77,7 +77,7 @@ def build_strategy(
     omega = problem.omega
     floor = problem.objective.slowdown_floor
 
-    def extend(acc: tuple, job: Job, start: float) -> tuple:
+    def extend(acc: tuple[float, ...], job: Job, start: float) -> tuple[float, ...]:
         wait = start - job.submit_time
         denom = rt[job.job_id]
         if denom < floor:
@@ -88,10 +88,10 @@ def build_strategy(
             acc[1] + (wait + denom) / denom,
         )
 
-    def score(acc: tuple, n_jobs: int) -> ScheduleScore:
+    def score(acc: tuple[float, ...], n_jobs: int) -> ScheduleScore:
         return ScheduleScore(acc[0], acc[1], n_jobs)
 
-    def lower(acc: tuple, left: int) -> ScheduleScore:
+    def lower(acc: tuple[float, ...], left: int) -> ScheduleScore:
         # Unplaced jobs add >= 0 excess and >= 1 slowdown each.
         return ScheduleScore(acc[0], acc[1] + left, 0)
 
@@ -349,7 +349,7 @@ class _SearchRun:
         self._prefix.pop()
         self.profile.release(token)  # type: ignore[arg-type]
 
-    def _leaf(self, acc: tuple) -> None:
+    def _leaf(self, acc: tuple[float, ...]) -> None:
         self.leaves_evaluated += 1
         score = self._score_of(acc, len(self._prefix))
         if self.best_score is None or score < self.best_score:
@@ -361,7 +361,7 @@ class _SearchRun:
             if self.anytime is not None:
                 self.anytime.append((self.nodes_visited, score))
 
-    def _prune_child(self, acc: tuple, left: int) -> bool:
+    def _prune_child(self, acc: tuple[float, ...], left: int) -> bool:
         """Branch-and-bound: can this partial schedule still beat the best?"""
         if not self.prune or self.best_score is None:
             return False
@@ -370,7 +370,7 @@ class _SearchRun:
     # ------------------------------------------------------------------
     # LDS: iteration k explores paths with exactly k discrepancies.
     # ------------------------------------------------------------------
-    def _dfs_lds(self, remaining: list[Job], k_left: int, acc: tuple) -> None:
+    def _dfs_lds(self, remaining: list[Job], k_left: int, acc: tuple[float, ...]) -> None:
         if not remaining:
             if k_left == 0:
                 self._leaf(acc)
@@ -398,7 +398,7 @@ class _SearchRun:
     # above, prohibits any below (levels are 1-based).
     # ------------------------------------------------------------------
     def _dfs_dds(
-        self, remaining: list[Job], iteration: int, level: int, acc: tuple
+        self, remaining: list[Job], iteration: int, level: int, acc: tuple[float, ...]
     ) -> None:
         if not remaining:
             self._leaf(acc)

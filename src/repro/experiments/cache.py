@@ -25,7 +25,7 @@ from pathlib import Path
 
 from repro.experiments.runner import PolicyRun
 from repro.metrics.measures import JobMetrics
-from repro.simulator.job import Job, JobState
+from repro.simulator.job import Job
 
 #: Bump when simulation semantics change in a way specs cannot capture.
 CACHE_VERSION = 1
@@ -83,9 +83,7 @@ def run_from_payload(payload: dict) -> PolicyRun:
             requested_runtime=float(requested),
             user=user,
         )
-        job.state = JobState.COMPLETED
-        job.start_time = float(start)
-        job.end_time = float(end)
+        job.restore_completed(float(start), float(end))
         jobs.append(job)
     metrics = dict(payload["metrics"])
     metrics["n_jobs"] = int(metrics["n_jobs"])

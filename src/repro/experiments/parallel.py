@@ -10,9 +10,10 @@ spec — and the first time, as wide as the hardware allows.
 Design constraints, in order:
 
 1. **Bit-identical results.**  A worker resolves its workload from the
-   same deterministic generator inputs the serial path uses and seeds the
-   global RNGs per run from the spec hash, so ``max_workers=N`` produces
-   exactly the metrics of ``max_workers=1`` — asserted by
+   same deterministic generator inputs the serial path uses and installs a
+   per-run :class:`~repro.util.rng.RngStream` derived from the spec hash
+   (never the global RNG state), so ``max_workers=N`` produces exactly the
+   metrics of ``max_workers=1`` — asserted by
    ``tests/test_parallel_runner.py``.
 2. **Failure isolation.**  A run that raises returns a structured
    :class:`RunError` (type, message, traceback) in its grid slot instead
@@ -33,7 +34,6 @@ import hashlib
 import json
 import os
 import pickle
-import random
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -41,10 +41,9 @@ from dataclasses import asdict, dataclass, field
 from functools import lru_cache
 from typing import Callable, Iterable, Sequence
 
-import numpy as np
-
 from repro.experiments.cache import CACHE_VERSION, RunCache
 from repro.experiments.runner import PolicyRun, simulate
+from repro.util.rng import derive_run_stream, set_run_stream
 from repro.simulator.policy import SchedulingPolicy
 from repro.workloads.estimates import (
     MenuEstimates,
@@ -246,9 +245,11 @@ def _run_seed(spec: RunSpec) -> int:
 def _execute(item: tuple[int, RunSpec]) -> "tuple[int, PolicyRun | RunError]":
     """Run one cell; never raises (exceptions become :class:`RunError`)."""
     index, spec = item
-    seed = _run_seed(spec)
-    random.seed(seed)
-    np.random.seed(seed)
+    # Per-run randomness goes through a derived stream, never the global
+    # random/np.random state (simlint SIM002): the stream is a pure
+    # function of the spec, so results are identical regardless of which
+    # worker — or how many — executes the cell.
+    previous = set_run_stream(derive_run_stream(_run_seed(spec)))
     try:
         workload = (
             spec.workload if isinstance(spec.workload, Workload) else spec.workload.build()
@@ -265,6 +266,8 @@ def _execute(item: tuple[int, RunSpec]) -> "tuple[int, PolicyRun | RunError]":
             message=str(exc),
             traceback=traceback.format_exc(),
         )
+    finally:
+        set_run_stream(previous)
 
 
 def _picklable(spec: RunSpec) -> bool:

@@ -1,0 +1,27 @@
+"""simlint: determinism/invariant static analysis for the repro tree.
+
+Run as ``python -m repro.lint [paths...]`` or through
+``tests/test_simlint.py`` (which also keeps the real tree clean in CI).
+See :mod:`repro.lint.rules` for the rule set and
+:mod:`repro.lint.engine` for suppression syntax.
+"""
+
+from repro.lint.engine import (
+    Finding,
+    lint_file,
+    lint_paths,
+    lint_source,
+    main,
+)
+from repro.lint.rules import RULES, RULES_BY_ID, Rule
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "RULES_BY_ID",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

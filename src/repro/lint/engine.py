@@ -1,0 +1,159 @@
+"""simlint driver: file walking, suppression handling, reporting.
+
+Usage::
+
+    python -m repro.lint [paths...]      # default: src
+
+Exit status is 0 when the tree is clean and 1 when any finding survives
+the suppression filter; syntax errors in linted files exit 2.  Findings
+print as ``path:line:col: RULE message`` so editors and CI annotate them
+directly.
+
+A finding is suppressed by a trailing comment on the reported line::
+
+    total == deadline  # simlint: skip            (all rules)
+    total == deadline  # simlint: skip=SIM003     (specific rules, comma-sep)
+
+Suppressions are deliberately per-line and greppable — the point of the
+tool is that every exception to a determinism rule is visible in review.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.lint.rules import RULES, RULES_BY_ID, run_rules
+
+__all__ = ["Finding", "lint_source", "lint_file", "lint_paths", "main"]
+
+_SKIP_RE = re.compile(r"#\s*simlint:\s*skip(?:=(?P<rules>[A-Z0-9,\s]+))?")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One confirmed lint finding."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+def _suppressions(source: str) -> dict[int, set[str] | None]:
+    """Map line number -> suppressed rule ids (``None`` = every rule)."""
+    table: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SKIP_RE.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[lineno] = None
+        else:
+            table[lineno] = {r.strip() for r in rules.split(",") if r.strip()}
+    return table
+
+
+def _sanctioned(rule_id: str, path: str) -> bool:
+    """Whether ``path`` is an allowed home for the rule's construct."""
+    posix = Path(path).as_posix()
+    return any(
+        posix.endswith(suffix) for suffix in RULES_BY_ID[rule_id].allowed_paths
+    )
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one unit of Python source; raises ``SyntaxError`` on bad input."""
+    tree = ast.parse(source, filename=path)
+    skip = _suppressions(source)
+    findings = []
+    for raw in run_rules(tree):
+        if _sanctioned(raw.rule_id, path):
+            continue
+        if raw.line in skip:
+            suppressed = skip[raw.line]  # None means "every rule"
+            if suppressed is None or raw.rule_id in suppressed:
+                continue
+        findings.append(
+            Finding(path, raw.line, raw.col, raw.rule_id, raw.message)
+        )
+    return sorted(findings)
+
+
+def lint_file(path: "str | Path") -> list[Finding]:
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, str(path))
+
+
+def iter_python_files(paths: Iterable["str | Path"]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {p}")
+
+
+def lint_paths(paths: Sequence["str | Path"]) -> list[Finding]:
+    """Lint every Python file under ``paths``; sorted, suppression-filtered."""
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(lint_file(file))
+    return sorted(findings)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="determinism/invariant static analysis for the repro tree",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule set and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.rule_id}  {rule.title}")
+            print(f"        {rule.rationale}")
+            if rule.allowed_paths:
+                print(f"        sanctioned in: {', '.join(rule.allowed_paths)}")
+        return 0
+
+    try:
+        findings = lint_paths(args.paths)
+    except SyntaxError as exc:
+        print(f"syntax error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"simlint: {len(findings)} finding(s) in "
+            f"{len({f.path for f in findings})} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0

@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.util.timeunits import time_eq, time_lt
+
 
 @dataclass
 class StateTimeSeries:
@@ -34,9 +36,9 @@ class StateTimeSeries:
         used_nodes: int,
         backlog_node_seconds: float,
     ) -> None:
-        if self.times and time < self.times[-1]:
+        if self.times and time_lt(time, self.times[-1]):
             raise ValueError("samples must be recorded in time order")
-        if self.times and time == self.times[-1]:
+        if self.times and time_eq(time, self.times[-1]):
             # Same instant: overwrite with the post-decision state.
             self.queue_lengths[-1] = queue_length
             self.used_nodes[-1] = used_nodes

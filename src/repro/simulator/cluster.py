@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.simulator.job import Job, JobState
+from repro.util.sanitize import require, sanitize_enabled
 from repro.util.timeunits import HOUR
 from repro.util.validation import check_positive
 
@@ -92,29 +93,34 @@ class Cluster:
                 f"job {job.job_id} needs {job.nodes} nodes, only "
                 f"{self.free_nodes} free"
             )
-        if now < job.submit_time - 1e-9:
-            # The 1e-9 tolerance matches the event queue's simultaneity
-            # window: events batched at one instant share a decision.
-            raise ValueError(
-                f"job {job.job_id} cannot start at {now} before submit "
-                f"{job.submit_time}"
-            )
+        end = job.mark_started(now)
         self.free_nodes -= job.nodes
-        job.state = JobState.RUNNING
-        job.start_time = now
-        job.end_time = now + job.runtime
         self._running[job.job_id] = job
-        return job.end_time
+        if sanitize_enabled():
+            self._sanitize_accounting(f"after starting job {job.job_id}")
+        return end
 
     def finish(self, job: Job, now: float) -> None:
         """Complete ``job`` at time ``now`` and release its nodes."""
         if self._running.pop(job.job_id, None) is None:
             raise ValueError(f"job {job.job_id} is not running")
-        if job.end_time is None or abs(job.end_time - now) > 1e-6:
-            raise ValueError(
-                f"job {job.job_id} finishing at {now}, expected {job.end_time}"
-            )
+        job.mark_finished(now)
         self.free_nodes += job.nodes
         if self.free_nodes > self.capacity:
             raise AssertionError("free nodes exceeded capacity (double release?)")
-        job.state = JobState.COMPLETED
+        if sanitize_enabled():
+            self._sanitize_accounting(f"after finishing job {job.job_id}")
+
+    def _sanitize_accounting(self, context: str) -> None:
+        """Debug-mode check: node accounting is conserved (see util.sanitize)."""
+        require(
+            0 <= self.free_nodes <= self.capacity,
+            f"free-node count {self.free_nodes} outside [0, {self.capacity}] "
+            f"{context}",
+        )
+        occupied = sum(j.nodes for j in self._running.values())
+        require(
+            self.free_nodes + occupied == self.capacity,
+            f"node accounting broken {context}: {self.free_nodes} free + "
+            f"{occupied} running != capacity {self.capacity}",
+        )

@@ -18,9 +18,10 @@ from typing import Iterable, Sequence
 
 from repro.metrics.timeseries import StateTimeSeries
 from repro.simulator.cluster import Cluster, ClusterConfig
-from repro.simulator.events import EventKind, EventQueue
+from repro.simulator.events import Event, EventKind, EventQueue
 from repro.simulator.job import Job, JobState
 from repro.simulator.policy import RunningJob, SchedulingPolicy
+from repro.util.sanitize import require, sanitize_enabled
 
 
 @dataclass
@@ -40,7 +41,7 @@ class SimulationResult:
     sim_end_time: float
     wall_seconds: float
     policy_name: str
-    extra: dict = field(default_factory=dict)
+    extra: dict[str, object] = field(default_factory=dict)
     #: Per-event state samples; ``None`` unless the simulation was created
     #: with ``record_timeseries=True``.
     timeseries: "StateTimeSeries | None" = None
@@ -101,11 +102,10 @@ class Simulation:
         self.policy.reset()
         self.policy.runtime_source.reset()
 
+        sanitize = sanitize_enabled()
         events = EventQueue()
         for job in self.jobs:
-            job.state = JobState.PENDING
-            job.start_time = None
-            job.end_time = None
+            job.reset_lifecycle()
             events.push(job.submit_time, EventKind.ARRIVAL, job)
 
         waiting: list[Job] = []
@@ -120,6 +120,8 @@ class Simulation:
         while events:
             batch = events.pop_simultaneous()
             now = batch[0].time
+            if sanitize:
+                self._sanitize_batch(batch, now, prev_time)
 
             # Accumulate time-weighted statistics over [prev_time, now),
             # clipped to the measurement window.
@@ -142,11 +144,13 @@ class Simulation:
                     self.policy.runtime_source.observe_completion(job, now)
                     self.policy.on_finish(job, now)
                 else:
-                    job.state = JobState.WAITING
+                    job.mark_waiting()
                     waiting.append(job)
 
             # One scheduling decision per distinct event time.
             decision_count += 1
+            if sanitize:
+                self._sanitize_queue(waiting, now)
             running_view = self._running_view(now)
             to_start = self.policy.decide(now, tuple(waiting), running_view, self.cluster)
             self._start_jobs(to_start, waiting, events, now)
@@ -176,6 +180,50 @@ class Simulation:
                 "unfinished jobs (policy starvation or engine bug)"
             )
         return result
+
+    # ------------------------------------------------------------------
+    # Debug-mode invariant checks (see repro.util.sanitize); all read-only.
+    # ------------------------------------------------------------------
+    def _sanitize_batch(
+        self, batch: Sequence[Event], now: float, prev_time: float
+    ) -> None:
+        """Event times must be monotone non-decreasing across the run."""
+        require(
+            now >= prev_time - 1e-9,
+            f"time travel: event batch at {now} after clock reached {prev_time}",
+        )
+        for event in batch:
+            require(
+                event.time >= prev_time - 1e-9,
+                f"time travel: {event.kind.value} event at {event.time} "
+                f"after clock reached {prev_time}",
+            )
+
+    def _sanitize_queue(self, waiting: Sequence[Job], now: float) -> None:
+        """The queue holds only un-started WAITING jobs; nodes conserve."""
+        for job in waiting:
+            require(
+                job.state is JobState.WAITING,
+                f"queue contains job {job.job_id} in state {job.state.value} "
+                f"at t={now}",
+            )
+            require(
+                job.start_time is None,
+                f"queue contains started job {job.job_id} "
+                f"(start_time={job.start_time}) at t={now}",
+            )
+        cluster = self.cluster
+        require(
+            0 <= cluster.free_nodes <= cluster.capacity,
+            f"free-node count {cluster.free_nodes} outside "
+            f"[0, {cluster.capacity}] at t={now}",
+        )
+        occupied = sum(j.nodes for j in cluster.running_jobs)
+        require(
+            cluster.free_nodes + occupied == cluster.capacity,
+            f"node accounting broken at t={now}: {cluster.free_nodes} free "
+            f"+ {occupied} running != capacity {cluster.capacity}",
+        )
 
     # ------------------------------------------------------------------
     def _running_view(self, now: float) -> tuple[RunningJob, ...]:

@@ -76,6 +76,56 @@ class Job:
             )
 
     # ------------------------------------------------------------------
+    # Lifecycle transitions
+    # ------------------------------------------------------------------
+    # These methods are the only sanctioned way to mutate ``state``,
+    # ``start_time`` and ``end_time`` (enforced by simlint rule SIM004):
+    # funnelling every transition through one place keeps the legal
+    # state machine PENDING -> WAITING -> RUNNING -> COMPLETED checkable.
+
+    def reset_lifecycle(self) -> None:
+        """Return the job to PENDING so it can be simulated again."""
+        self.state = JobState.PENDING
+        self.start_time = None
+        self.end_time = None
+
+    def mark_waiting(self) -> None:
+        """Transition to WAITING (the job arrived and joined the queue)."""
+        self.state = JobState.WAITING
+
+    def mark_started(self, now: float) -> float:
+        """Transition to RUNNING at ``now``; returns the completion time."""
+        if self.state is not JobState.WAITING:
+            raise ValueError(
+                f"cannot start job {self.job_id} in state {self.state}"
+            )
+        if now < self.submit_time - 1e-9:
+            # The 1e-9 tolerance matches the event queue's simultaneity
+            # window: events batched at one instant share a decision.
+            raise ValueError(
+                f"job {self.job_id} cannot start at {now} before submit "
+                f"{self.submit_time}"
+            )
+        self.state = JobState.RUNNING
+        self.start_time = now
+        self.end_time = now + self.runtime
+        return self.end_time
+
+    def mark_finished(self, now: float) -> None:
+        """Transition to COMPLETED at ``now`` (must match the planned end)."""
+        if self.end_time is None or abs(self.end_time - now) > 1e-6:
+            raise ValueError(
+                f"job {self.job_id} finishing at {now}, expected {self.end_time}"
+            )
+        self.state = JobState.COMPLETED
+
+    def restore_completed(self, start_time: float, end_time: float) -> None:
+        """Rehydrate a COMPLETED job from persisted results (run cache)."""
+        self.state = JobState.COMPLETED
+        self.start_time = float(start_time)
+        self.end_time = float(end_time)
+
+    # ------------------------------------------------------------------
     # Scheduler-visible runtime
     # ------------------------------------------------------------------
     def scheduler_runtime(self, use_actual: bool) -> float:

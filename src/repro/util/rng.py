@@ -9,8 +9,12 @@ randomness does not perturb existing streams.
 from __future__ import annotations
 
 import hashlib
+from typing import Any, Sequence
 
 import numpy as np
+
+#: Shape argument accepted by the draw methods (``None`` = one scalar).
+Size = int | tuple[int, ...] | None
 
 
 def _derive_seed(master_seed: int, name: str) -> int:
@@ -45,26 +49,67 @@ class RngStream:
 
     # Thin pass-throughs for the draws the library needs.  Keeping them
     # explicit (rather than __getattr__) documents the full random surface.
+    # Returns are ``Any`` because numpy's draws are scalar-or-array
+    # depending on ``size``; callers pin the shape at the call site.
 
-    def uniform(self, low: float = 0.0, high: float = 1.0, size=None):
+    def uniform(
+        self, low: float = 0.0, high: float = 1.0, size: "Size" = None
+    ) -> Any:
         return self.generator.uniform(low, high, size)
 
-    def exponential(self, scale: float, size=None):
+    def exponential(self, scale: float, size: "Size" = None) -> Any:
         return self.generator.exponential(scale, size)
 
-    def lognormal(self, mean: float, sigma: float, size=None):
+    def lognormal(self, mean: float, sigma: float, size: "Size" = None) -> Any:
         return self.generator.lognormal(mean, sigma, size)
 
-    def choice(self, a, size=None, p=None, replace=True):
-        return self.generator.choice(a, size=size, p=p, replace=replace)
+    def choice(
+        self,
+        a: "Sequence[Any] | np.ndarray[Any, Any] | int",
+        size: "Size" = None,
+        p: "Sequence[float] | None" = None,
+        replace: bool = True,
+    ) -> Any:
+        return self.generator.choice(a, size=size, p=p, replace=replace)  # type: ignore[arg-type]
 
-    def integers(self, low: int, high: int, size=None):
+    def integers(self, low: int, high: int, size: "Size" = None) -> Any:
         return self.generator.integers(low, high, size)
 
-    def shuffle(self, x) -> None:
+    def shuffle(self, x: "np.ndarray[Any, Any] | list[Any]") -> None:
         self.generator.shuffle(x)
 
 
 def spawn_streams(master_seed: int, names: list[str]) -> dict[str, RngStream]:
     """Create one :class:`RngStream` per name from a single master seed."""
     return {name: RngStream(master_seed, name) for name in names}
+
+
+# ----------------------------------------------------------------------
+# Per-run stream registry
+# ----------------------------------------------------------------------
+# Experiment executors derive one stream per simulation run instead of
+# seeding the process-global ``random``/``np.random`` state (simlint rule
+# SIM002 forbids the latter): global seeding couples unrelated consumers
+# through hidden state and silently breaks when a library call consumes
+# draws in between.  Any future stochastic component of a *run* (random
+# tie-breaks, noise injection, ...) must draw from ``run_stream()``.
+
+_run_stream: RngStream | None = None
+
+
+def derive_run_stream(seed: int, name: str = "run") -> RngStream:
+    """A named stream for one simulation run, derived from a content seed."""
+    return RngStream(seed, name)
+
+
+def set_run_stream(stream: RngStream | None) -> RngStream | None:
+    """Install the active per-run stream; returns the previous one."""
+    global _run_stream
+    previous = _run_stream
+    _run_stream = stream
+    return previous
+
+
+def run_stream() -> RngStream | None:
+    """The stream of the run currently executing, if any."""
+    return _run_stream

@@ -1,9 +1,16 @@
-"""Time-unit constants and conversion helpers.
+"""Time-unit constants, conversion helpers, and float-time comparisons.
 
 All simulation times in this library are expressed in **seconds** as plain
 floats (or ints).  These helpers exist so that calling code can say
 ``hours(12)`` instead of sprinkling ``12 * 3600`` literals around, and so that
 reports can render durations in the units the paper uses (hours).
+
+The module is also the home of the sanctioned float-time comparison
+helpers (:func:`time_eq`, :func:`time_lt`, :func:`time_le`).  Simulation
+times are sums of float arithmetic, so raw ``==``/``!=`` between them is a
+determinism hazard — two logically simultaneous events can differ in the
+last bit and silently take different branches.  ``simlint`` (rule SIM003)
+flags raw equality between time-like values; these helpers are the fix.
 """
 
 from __future__ import annotations
@@ -13,6 +20,25 @@ MINUTE: float = 60.0
 HOUR: float = 3600.0
 DAY: float = 24 * HOUR
 WEEK: float = 7 * DAY
+
+#: Simultaneity window for float simulation times, matching the event
+#: queue's batching tolerance: times within TIME_EPS are one instant.
+TIME_EPS: float = 1e-9
+
+
+def time_eq(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Whether two simulation times denote the same instant (within eps)."""
+    return abs(a - b) <= eps
+
+
+def time_lt(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Whether ``a`` is strictly before ``b`` (by more than eps)."""
+    return a < b - eps
+
+
+def time_le(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Whether ``a`` is before or at the same instant as ``b``."""
+    return a <= b + eps
 
 
 def hours(x: float) -> float:

@@ -1,0 +1,243 @@
+"""simlint: each rule fires on a minimal bad snippet, stays quiet on
+sanctioned/suppressed code, and the real source tree is clean."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import RULES, RULES_BY_ID, Finding, lint_paths, lint_source
+from repro.lint.engine import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def rule_ids(source: str, path: str = "example/mod.py") -> list[str]:
+    return [f.rule_id for f in lint_source(source, path)]
+
+
+# ----------------------------------------------------------------------
+# SIM001: wall-clock
+# ----------------------------------------------------------------------
+def test_wall_clock_call_fires():
+    assert rule_ids("import time\nt = time.time()\n") == ["SIM001"]
+
+
+def test_wall_clock_alias_fires():
+    assert rule_ids("import time as _wc\nt = _wc.time()\n") == ["SIM001"]
+
+
+def test_datetime_now_fires():
+    src = "from datetime import datetime\nstamp = datetime.now()\n"
+    assert rule_ids(src) == ["SIM001"]
+
+
+def test_from_time_import_time_fires():
+    assert rule_ids("from time import time\n") == ["SIM001"]
+
+
+def test_perf_counter_allowed():
+    # perf_counter feeds wall-time *reporting*, never simulation state.
+    assert rule_ids("import time\nt = time.perf_counter()\n") == []
+
+
+# ----------------------------------------------------------------------
+# SIM002: global RNG
+# ----------------------------------------------------------------------
+def test_random_seed_fires():
+    assert rule_ids("import random\nrandom.seed(42)\n") == ["SIM002"]
+
+
+def test_np_random_seed_fires():
+    assert rule_ids("import numpy as np\nnp.random.seed(42)\n") == ["SIM002"]
+
+
+def test_np_random_draw_fires():
+    assert rule_ids("import numpy as np\nx = np.random.uniform()\n") == ["SIM002"]
+
+
+def test_from_random_import_fires():
+    assert rule_ids("from random import shuffle\n") == ["SIM002"]
+
+
+def test_default_rng_allowed():
+    src = "import numpy as np\nrng = np.random.default_rng(7)\n"
+    assert rule_ids(src) == []
+
+
+def test_rng_module_is_sanctioned():
+    src = "import numpy as np\ng = np.random.default_rng(0)\n"
+    assert lint_source(src, "src/repro/util/rng.py") == []
+    # Even a hard violation is sanctioned inside util/rng.py ...
+    bad = "import random\nrandom.seed(1)\n"
+    assert lint_source(bad, "src/repro/util/rng.py") == []
+    # ... but nowhere else.
+    assert rule_ids(bad, "src/repro/core/search.py") == ["SIM002"]
+
+
+def test_pr1_regression_global_seeding_flagged():
+    """The exact pattern simlint exists to catch: PR 1's worker seeding."""
+    src = (
+        "import random\n"
+        "import numpy as np\n"
+        "def _execute(seed):\n"
+        "    random.seed(seed)\n"
+        "    np.random.seed(seed)\n"
+    )
+    assert rule_ids(src, "src/repro/experiments/parallel.py") == [
+        "SIM002",
+        "SIM002",
+    ]
+
+
+# ----------------------------------------------------------------------
+# SIM003: float-time equality
+# ----------------------------------------------------------------------
+def test_time_equality_fires():
+    assert rule_ids("same = start_time == end_time\n") == ["SIM003"]
+
+
+def test_time_inequality_fires():
+    assert rule_ids("moved = job.submit_time != t0\n") == ["SIM003"]
+
+
+def test_subscripted_times_fire():
+    assert rule_ids("dup = t == self.times[-1]\n") == ["SIM003"]
+
+
+def test_chained_comparison_fires():
+    assert rule_ids("ok = a == arrival == b\n") == ["SIM003", "SIM003"]
+
+
+def test_string_discriminator_allowed():
+    assert rule_ids("ok = kind == 'end'\n") == []
+
+
+def test_non_time_names_allowed():
+    assert rule_ids("ok = count == total_jobs\n") == []
+
+
+def test_none_comparison_allowed():
+    assert rule_ids("ok = start_time == None\n") == []
+
+
+# ----------------------------------------------------------------------
+# SIM004: job lifecycle mutation
+# ----------------------------------------------------------------------
+def test_state_assignment_fires():
+    assert rule_ids("job.state = JobState.RUNNING\n") == ["SIM004"]
+
+
+def test_tuple_assignment_fires():
+    found = rule_ids("j.start_time, j.end_time = 0.0, 10.0\n")
+    assert found == ["SIM004", "SIM004"]
+
+
+def test_aug_assignment_fires():
+    assert rule_ids("job.start_time += 5.0\n") == ["SIM004"]
+
+
+def test_job_module_is_sanctioned():
+    src = "self.state = JobState.PENDING\n"
+    assert lint_source(src, "src/repro/simulator/job.py") == []
+
+
+# ----------------------------------------------------------------------
+# SIM005: raw Event construction
+# ----------------------------------------------------------------------
+def test_event_construction_fires():
+    src = "from repro.simulator.events import Event\ne = Event(0.0, 0)\n"
+    assert rule_ids(src) == ["SIM005"]
+
+
+def test_event_via_module_fires():
+    src = "from repro.simulator import events\ne = events.Event(0.0, 0)\n"
+    assert rule_ids(src) == ["SIM005"]
+
+
+def test_events_module_is_sanctioned():
+    src = "from repro.simulator.events import Event\ne = Event(0.0, 0)\n"
+    assert lint_source(src, "src/repro/simulator/events.py") == []
+
+
+def test_unrelated_event_class_allowed():
+    src = "class Event:\n    pass\n\ne = Event()\n"
+    assert rule_ids(src) == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def test_blanket_suppression():
+    assert rule_ids("same = t0 == t1  # simlint: skip\n") == []
+
+
+def test_targeted_suppression():
+    assert rule_ids("same = t0 == t1  # simlint: skip=SIM003\n") == []
+
+
+def test_wrong_rule_suppression_still_fires():
+    assert rule_ids("same = t0 == t1  # simlint: skip=SIM004\n") == ["SIM003"]
+
+
+def test_multi_rule_suppression():
+    src = "same = t0 == t1  # simlint: skip=SIM002,SIM003\n"
+    assert rule_ids(src) == []
+
+
+# ----------------------------------------------------------------------
+# Engine behaviour
+# ----------------------------------------------------------------------
+def test_findings_carry_location():
+    src = "x = 1\nsame = t0 == t1\n"
+    (finding,) = lint_source(src, "somewhere/mod.py")
+    assert isinstance(finding, Finding)
+    assert (finding.path, finding.line) == ("somewhere/mod.py", 2)
+    assert "SIM003" in str(finding)
+
+
+def test_rule_registry_consistent():
+    assert len(RULES) == 5
+    assert set(RULES_BY_ID) == {f"SIM00{i}" for i in range(1, 6)}
+
+
+def test_cli_clean_tree_exits_zero(capsys):
+    assert main([str(SRC)]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_cli_dirty_file_exits_one(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nrandom.seed(0)\n")
+    assert main([str(bad)]) == 1
+    out = capsys.readouterr()
+    assert "SIM002" in out.out
+    assert "bad.py:2" in out.out
+
+
+def test_cli_syntax_error_exits_two(tmp_path, capsys):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    assert main([str(bad)]) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule.rule_id in out
+
+
+# ----------------------------------------------------------------------
+# The real tree is clean (the tentpole acceptance criterion)
+# ----------------------------------------------------------------------
+def test_source_tree_is_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+@pytest.mark.parametrize("rule", RULES, ids=lambda r: r.rule_id)
+def test_every_rule_has_documentation(rule):
+    assert rule.title and rule.rationale
