@@ -1,0 +1,63 @@
+"""The search hot path: allocation-free engine vs the reference spec.
+
+The per-decision discrepancy search is where the scheduler spends its
+time (paper §2.3), so this harness times one search over the fixed
+30-job decision point from :mod:`repro.experiments.bench` for the two
+flagship policies (DDS/lxf/dynB, LDS/fcfs/dynB) at L ∈ {1K, 10K, 100K},
+on both engines.  The ``"fast"`` engine must beat the ``"reference"``
+engine by ≥2x nodes/sec at L=10K *with bit-identical results* — the
+perf floor this repo's BENCH_search.json trajectory starts from.
+
+Run directly (``pytest benchmarks/bench_search_hotpath.py``) or via the
+CLI report writer (``python -m repro bench``), which archives the same
+measurement to ``BENCH_search.json`` at the repo root.
+"""
+
+import time
+
+import pytest
+
+from repro.core.search import DiscrepancySearch
+from repro.experiments.bench import POLICIES, _fingerprint, build_problem
+
+LIMITS = [1_000, 10_000, 100_000]
+
+
+@pytest.mark.parametrize("algorithm,heuristic", POLICIES)
+@pytest.mark.parametrize("L", LIMITS)
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_search_hotpath(benchmark, algorithm, heuristic, L, engine):
+    problem = build_problem(heuristic)
+    search = DiscrepancySearch(algorithm, node_limit=L, engine=engine)
+
+    result = benchmark(lambda: search.search(problem))
+    # The budget is actually consumed (the 30-job tree dwarfs every limit).
+    assert result.nodes_visited == L
+    benchmark.extra_info["nodes_per_second"] = L / benchmark.stats["mean"]
+    benchmark.extra_info["engine"] = engine
+
+
+@pytest.mark.parametrize("algorithm,heuristic", POLICIES)
+def test_fast_engine_2x_at_10k(benchmark, algorithm, heuristic):
+    """The acceptance floor: ≥2x nodes/sec at L=10K, identical results."""
+    problem = build_problem(heuristic)
+    fast = DiscrepancySearch(algorithm, node_limit=10_000, engine="fast")
+    reference = DiscrepancySearch(algorithm, node_limit=10_000, engine="reference")
+
+    result_fast = benchmark(lambda: fast.search(problem))
+    result_ref = reference.search(problem)
+    assert _fingerprint(result_fast) == _fingerprint(result_ref)
+
+    best_ref = min(
+        _timed(reference, problem, time.perf_counter) for _ in range(3)
+    )
+    assert benchmark.stats["min"] * 2.0 <= best_ref, (
+        f"fast engine must be >=2x reference at L=10K: "
+        f"fast {benchmark.stats['min']:.4f}s vs reference {best_ref:.4f}s"
+    )
+
+
+def _timed(searcher, problem, clock):
+    t0 = clock()
+    searcher.search(problem)
+    return clock() - t0

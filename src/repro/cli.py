@@ -14,6 +14,9 @@ Commands
     Regenerate Tables 3 and 4 from the synthetic traces.
 ``swf-convert``
     Export a synthetic month as a Standard Workload Format file.
+``bench``
+    Time the search hot path (both engines, bit-identity checked) and
+    write the ``BENCH_search.json`` perf report.
 
 Policy specs accepted by ``run --policy``:
 
@@ -291,6 +294,17 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import write_bench
+
+    report = write_bench(
+        args.out, quick=args.quick, repeats=args.repeats, progress=print
+    )
+    worst = min(report["speedups"].values())
+    print(f"wrote {args.out} (worst fast/reference speedup {worst:.2f}x)")
+    return 0
+
+
 def cmd_swf_convert(args: argparse.Namespace) -> int:
     if args.month not in MONTHS:
         raise CliError(
@@ -396,6 +410,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_args(reproduce)
     reproduce.set_defaults(func=cmd_reproduce)
+
+    bench = sub.add_parser(
+        "bench", help="time the search hot path and write BENCH_search.json"
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip L=100K (CI smoke mode; report marks quick=true)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats per config (best-of)"
+    )
+    bench.add_argument(
+        "--out", default="BENCH_search.json", help="report path (default: repo root)"
+    )
+    bench.set_defaults(func=cmd_bench)
 
     convert = sub.add_parser("swf-convert", help="export a synthetic month as SWF")
     convert.add_argument("--month", required=True)

@@ -46,14 +46,18 @@ def evaluate_order(
     """
     rt = rt if rt is not None else resolve_runtimes(problem)
     acc, extend, score_of, _ = build_strategy(problem, rt)
-    profile = problem.profile.copy()
+    # The undo-stack fast path places each candidate without copying the
+    # profile; ``place`` computes the same earliest-fit start bit-for-bit
+    # as ``earliest_start`` + ``reserve`` (see core/profile.py).
+    profile = problem.profile.search_view()
     starts: dict[int, float] = {}
-    for job in order:
-        runtime = rt[job.job_id]
-        start = profile.earliest_start(job.nodes, runtime, problem.now)
-        profile.reserve(start, runtime, job.nodes, check=False)
-        starts[job.job_id] = start
-        acc = extend(acc, job, start)
+    try:
+        for job in order:
+            start = profile.place(job.nodes, rt[job.job_id], problem.now)
+            starts[job.job_id] = start
+            acc = extend(acc, job, start)
+    finally:
+        profile.unwind()
     return starts, score_of(acc, len(order))
 
 

@@ -19,6 +19,20 @@ Reservations return an undo token; :meth:`release` with that token restores
 the profile exactly, **provided releases happen in LIFO order** — which is
 precisely the depth-first discipline of the search.  This avoids copying the
 profile at every one of the (up to 100K) nodes the search visits.
+
+Two implementations share these semantics:
+
+- :class:`AvailabilityProfile` — the reference: two plain lists with
+  ``bisect`` queries and ``insert``/``del`` mutation.  Every non-search
+  consumer (backfill, schedule builder, tests) uses it.
+- :class:`SearchProfile` — the search engine's allocation-free fast path:
+  the same step function stored as flat parallel slot arrays linked into a
+  list, so a reserve/release pair does no ``insert``/``del`` memmove, no
+  ``bisect``, and allocates nothing (slots are recycled through a free
+  pool; undo state lives on an explicit LIFO stack).  Built from a
+  reference profile via :meth:`AvailabilityProfile.search_view`, it must
+  return bit-identical ``earliest_start`` answers — a property pinned by
+  the differential hypothesis tests in ``tests/test_profile_properties.py``.
 """
 
 from __future__ import annotations
@@ -161,6 +175,18 @@ class AvailabilityProfile:
         Raises ``ValueError`` if ``nodes`` exceeds capacity (it can never
         fit) — callers should have validated admission already.
         """
+        return self.earliest_fit(nodes, duration, earliest)[0]
+
+    def earliest_fit(
+        self, nodes: int, duration: float, earliest: float
+    ) -> tuple[float, int]:
+        """:meth:`earliest_start` plus the index of the segment it lies in.
+
+        The index is valid until the next mutation and may be passed as the
+        ``hint`` of an immediately following :meth:`reserve` at the returned
+        start, which then skips the ``bisect`` the fit already performed —
+        the planners' hottest reserve pattern.
+        """
         if nodes > self.capacity:
             raise ValueError(f"{nodes} nodes exceeds capacity {self.capacity}")
         check_positive("duration", duration)
@@ -185,7 +211,7 @@ class AvailabilityProfile:
                     blocked = j
                     break
             if blocked < 0:
-                return candidate
+                return candidate, i
             i = blocked
             candidate = times[blocked]
 
@@ -196,9 +222,22 @@ class AvailabilityProfile:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def _ensure_breakpoint(self, t: float) -> tuple[int, bool]:
-        """Index of the segment starting at ``t``, inserting it if needed."""
-        i = bisect_right(self.times, t) - 1
+    def _ensure_breakpoint(self, t: float, hint: int = -1) -> tuple[int, bool]:
+        """Index of the segment starting at ``t``, inserting it if needed.
+
+        A non-negative ``hint`` proposes the index of the segment containing
+        ``t`` (e.g. from :meth:`earliest_fit`); after a cheap validity check
+        it replaces the ``bisect``.  An invalid hint falls back silently.
+        """
+        times = self.times
+        if (
+            0 <= hint < len(times)
+            and times[hint] <= t
+            and (hint + 1 == len(times) or t < times[hint + 1])
+        ):
+            i = hint
+        else:
+            i = bisect_right(times, t) - 1
         if i < 0:
             raise ValueError(f"time {t} precedes profile origin {self.times[0]}")
         if time_eq(self.times[i], t):
@@ -208,15 +247,24 @@ class AvailabilityProfile:
         return i + 1, True
 
     def reserve(
-        self, start: float, duration: float, nodes: int, check: bool = True
+        self,
+        start: float,
+        duration: float,
+        nodes: int,
+        check: bool = True,
+        hint: int = -1,
     ) -> ReservationToken:
         """Claim ``nodes`` nodes over ``[start, start + duration)``.
 
         Returns a token for :meth:`release`.  With ``check`` (the default)
         raises if the claim would drive any segment negative.  Callers that
         just obtained ``start`` from :meth:`earliest_start` may pass
-        ``check=False`` to skip the redundant feasibility scan — the search
-        engine's hottest loop does.
+        ``check=False`` to skip the redundant feasibility scan.  ``hint``
+        optionally names the segment containing ``start`` (the index from
+        :meth:`earliest_fit`), eliminating the start-breakpoint ``bisect``
+        and bounding the end-breakpoint one — together with the fit's own
+        bisect the hottest reserve pattern then bisects once, not three
+        times.
         """
         if check:
             check_positive("duration", duration)
@@ -224,8 +272,10 @@ class AvailabilityProfile:
         sanitize = sanitize_enabled()
         occupied_before = self._occupied_node_seconds() if sanitize else 0.0
         end = start + duration
-        i, created_start = self._ensure_breakpoint(start)
-        j, created_end = self._ensure_breakpoint(end)
+        i, created_start = self._ensure_breakpoint(start, hint)
+        # ``i`` starts at or before ``end``, so it is a valid proposal for
+        # the end breakpoint too (exact for within-segment reservations).
+        j, created_end = self._ensure_breakpoint(end, i)
         free = self.free
         if check and any(free[k] < nodes for k in range(i, j)):
             # Roll back the breakpoints we just created before raising.
@@ -280,6 +330,14 @@ class AvailabilityProfile:
         clone.times = self.times.copy()
         clone.free = self.free.copy()
         return clone
+
+    def search_view(self) -> "SearchProfile":
+        """An independent :class:`SearchProfile` rooted at this state.
+
+        The search engine's allocation-free substrate: place/unplace on the
+        view never touches this profile.
+        """
+        return SearchProfile(self)
 
     # ------------------------------------------------------------------
     # Debug-mode invariant checks (see repro.util.sanitize)
@@ -340,3 +398,274 @@ class AvailabilityProfile:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         segs = ", ".join(f"{t:.0f}:{f}" for t, f in zip(self.times, self.free))
         return f"AvailabilityProfile(cap={self.capacity}, [{segs}])"
+
+
+class SearchProfile:
+    """Allocation-free availability profile for the discrepancy search.
+
+    Same step function as :class:`AvailabilityProfile`, stored as flat
+    parallel slot arrays (``_t``/``_f`` hold each segment's breakpoint and
+    free count) threaded into a doubly-linked list (``_nx``/``_pv``, slot 0
+    is the sentinel head).  Unlinking and relinking a slot is O(1), so
+    creating or removing a breakpoint never pays the ``list.insert`` /
+    ``del`` memmove of the reference implementation; retired slots are
+    recycled through a free pool, so steady-state search places allocate
+    nothing but one small undo tuple.
+
+    Mutation is strictly stack-shaped: :meth:`place` commits an earliest-fit
+    reservation and pushes one frame onto the explicit undo stack;
+    :meth:`unplace` pops the top frame and restores the previous state
+    exactly.  This is the LIFO reserve/release discipline of the DFS made
+    structural — out-of-order release is impossible by construction.
+
+    :meth:`place` performs query, commit, and undo bookkeeping in a single
+    call with zero ``bisect``\\ s: the earliest-fit scan already lands on
+    the segment containing the start (the "hint" the reference path has to
+    re-derive), and the end breakpoint is found by continuing the same
+    walk.  Results are bit-identical to ``earliest_start`` + ``reserve`` on
+    the reference profile (the float arithmetic is the same operations in
+    the same order), which the differential property tests pin down.
+
+    The sanitizer hooks mirror the reference profile's: when debug-mode
+    invariant checking is active, every place/unplace verifies structural
+    invariants and node-second conservation.  The enabled flag is cached at
+    construction — a view lives for one search, well inside any sanitize
+    scope.
+    """
+
+    __slots__ = ("capacity", "_t", "_f", "_nx", "_pv", "_pool", "_undo", "_sanitize")
+
+    def __init__(self, profile: AvailabilityProfile) -> None:
+        times, free = profile.times, profile.free
+        n = len(times)
+        self.capacity = profile.capacity
+        # Slot 0 is the sentinel: "no slot" in links, never a segment.
+        self._t: list[float] = [0.0] + list(times)
+        self._f: list[int] = [0] + list(free)
+        self._nx: list[int] = list(range(1, n + 1)) + [0]
+        self._pv: list[int] = [n] + list(range(0, n))
+        self._pool: list[int] = []
+        #: LIFO frames: (start slot, end slot, nodes, created_start, created_end).
+        self._undo: list[tuple[int, int, int, bool, bool]] = []
+        self._sanitize = sanitize_enabled()
+
+    # ------------------------------------------------------------------
+    def _new_slot(self) -> int:
+        self._t.append(0.0)
+        self._f.append(0)
+        self._nx.append(0)
+        self._pv.append(0)
+        return len(self._t) - 1
+
+    @property
+    def depth(self) -> int:
+        """Number of un-popped :meth:`place` frames on the undo stack."""
+        return len(self._undo)
+
+    # ------------------------------------------------------------------
+    def place(self, nodes: int, duration: float, earliest: float) -> float:
+        """Earliest-fit query + commit + undo push, in one call.
+
+        Equivalent to ``start = p.earliest_start(nodes, duration,
+        earliest); p.reserve(start, duration, nodes, check=False)`` on the
+        reference profile, returning ``start``.  Undone by :meth:`unplace`.
+        """
+        if nodes > self.capacity:
+            raise ValueError(f"{nodes} nodes exceeds capacity {self.capacity}")
+        t, f, nx, pv = self._t, self._f, self._nx, self._pv
+        eps = _EPS
+        occupied_before = (
+            self._occupied_node_seconds() if self._sanitize else 0.0
+        )
+
+        # --- earliest-fit scan (same arithmetic as the reference) -------
+        i = nx[0]
+        cand = earliest if earliest > t[i] else t[i]
+        ni = nx[i]
+        while ni and t[ni] <= cand:
+            i = ni
+            ni = nx[i]
+        while True:
+            if f[i] < nodes:
+                # Skip ahead to the next segment with enough free nodes;
+                # the final segment always has all of capacity free.
+                i = nx[i]
+                while f[i] < nodes:
+                    i = nx[i]
+                cand = t[i]
+            end = cand + duration
+            j = i
+            blocked = 0
+            nj = nx[j]
+            while nj and t[nj] < end - eps:
+                j = nj
+                if f[j] < nodes:
+                    blocked = j
+                    break
+                nj = nx[j]
+            if not blocked:
+                break
+            i = blocked
+            cand = t[blocked]
+        start = cand
+
+        # --- start breakpoint (t[i] <= start < t[nx[i]] by the scan) ----
+        if start - t[i] <= eps:
+            si = i
+            created_start = False
+        else:
+            si = self._pool.pop() if self._pool else self._new_slot()
+            t[si] = start
+            f[si] = f[i]
+            ni = nx[i]
+            nx[i] = si
+            pv[si] = i
+            nx[si] = ni
+            pv[ni] = si
+            created_start = True
+
+        # --- end breakpoint: continue the walk from the start slot ------
+        j = si
+        nj = nx[j]
+        while nj and t[nj] <= end:
+            j = nj
+            nj = nx[j]
+        if end - t[j] <= eps:
+            ej = j
+            created_end = False
+        else:
+            ej = self._pool.pop() if self._pool else self._new_slot()
+            t[ej] = end
+            f[ej] = f[j]
+            nx[j] = ej
+            pv[ej] = j
+            nx[ej] = nj
+            pv[nj] = ej
+            created_end = True
+
+        # --- claim the nodes over [start slot, end slot) ----------------
+        k = si
+        while k != ej:
+            f[k] -= nodes
+            k = nx[k]
+        self._undo.append((si, ej, nodes, created_start, created_end))
+        if self._sanitize:
+            self._sanitize_delta(
+                occupied_before, nodes * (end - start), "place"
+            )
+        return start
+
+    def unplace(self) -> None:
+        """Pop the top :meth:`place` frame, restoring the profile exactly."""
+        si, ej, nodes, created_start, created_end = self._undo.pop()
+        f, nx, pv = self._f, self._nx, self._pv
+        occupied_before = (
+            self._occupied_node_seconds() if self._sanitize else 0.0
+        )
+        area = nodes * (self._t[ej] - self._t[si])
+        k = si
+        while k != ej:
+            f[k] += nodes
+            k = nx[k]
+        if created_end:
+            p, n = pv[ej], nx[ej]
+            nx[p] = n
+            pv[n] = p
+            self._pool.append(ej)
+        if created_start:
+            p, n = pv[si], nx[si]
+            nx[p] = n
+            pv[n] = p
+            self._pool.append(si)
+        if self._sanitize:
+            self._sanitize_delta(occupied_before, -area, "unplace")
+
+    def unwind(self) -> None:
+        """Pop every outstanding frame (back to the as-constructed state)."""
+        while self._undo:
+            self.unplace()
+
+    # ------------------------------------------------------------------
+    # Queries (parity with the reference; used by tests and local search)
+    # ------------------------------------------------------------------
+    def earliest_start(self, nodes: int, duration: float, earliest: float) -> float:
+        """Pure earliest-fit query (no mutation survives).
+
+        Implemented as a place/unplace round trip, which the LIFO stack
+        restores exactly — trivially the same answer :meth:`place` commits.
+        """
+        check_positive("duration", duration)
+        start = self.place(nodes, duration, earliest)
+        self.unplace()
+        return start
+
+    def segments(self) -> list[tuple[float, int]]:
+        """The ``(time, free)`` breakpoint list, in time order (a copy)."""
+        t, f, nx = self._t, self._f, self._nx
+        out: list[tuple[float, int]] = []
+        k = nx[0]
+        while k:
+            out.append((t[k], f[k]))
+            k = nx[k]
+        return out
+
+    # ------------------------------------------------------------------
+    # Debug-mode invariant checks (see repro.util.sanitize)
+    # ------------------------------------------------------------------
+    def _occupied_node_seconds(self) -> float:
+        total = 0.0
+        t, f, nx = self._t, self._f, self._nx
+        k = nx[0]
+        nk = nx[k]
+        while nk:
+            total += (self.capacity - f[k]) * (t[nk] - t[k])
+            k = nk
+            nk = nx[k]
+        return total
+
+    def _sanitize_delta(
+        self, occupied_before: float, expected_delta: float, operation: str
+    ) -> None:
+        self.check_invariants()
+        delta = self._occupied_node_seconds() - occupied_before
+        tolerance = 1e-6 * max(1.0, abs(expected_delta))
+        require(
+            abs(delta - expected_delta) <= tolerance,
+            f"search profile {operation} does not conserve node-seconds: "
+            f"occupancy changed by {delta!r}, expected {expected_delta!r}",
+        )
+
+    def check_invariants(self) -> None:
+        """Assert structural and linked-list invariants."""
+        t, f, nx, pv = self._t, self._f, self._nx, self._pv
+        seen = 0
+        k = nx[0]
+        prev = 0
+        last_free = -1
+        while k:
+            if pv[k] != prev:
+                raise AssertionError("linked-list prev/next mismatch")
+            if prev and not t[prev] < t[k]:
+                raise AssertionError("breakpoints not strictly increasing")
+            if not (0 <= f[k] <= self.capacity):
+                raise AssertionError(
+                    f"free count {f[k]} outside [0, {self.capacity}]"
+                )
+            last_free = f[k]
+            seen += 1
+            prev = k
+            k = nx[k]
+            if seen > len(t):
+                raise AssertionError("linked list contains a cycle")
+        if seen == 0:
+            raise AssertionError("profile has no segments")
+        if last_free != self.capacity:
+            raise AssertionError("final segment must have all nodes free")
+        if seen + len(self._pool) + 1 != len(t):
+            raise AssertionError("slot accounting broken (leaked slots)")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        segs = ", ".join(f"{t:.0f}:{n}" for t, n in self.segments())
+        return (
+            f"SearchProfile(cap={self.capacity}, depth={self.depth}, [{segs}])"
+        )

@@ -81,6 +81,7 @@ class SearchSchedulingPolicy(SchedulingPolicy):
         fairshare_half_life: float | None = None,
         local_search_fraction: float = 0.0,
         record_anytime: bool = False,
+        engine: str = "fast",
     ) -> None:
         if heuristic not in HEURISTICS:
             raise ValueError(
@@ -93,6 +94,7 @@ class SearchSchedulingPolicy(SchedulingPolicy):
             prune=prune,
             local_search_fraction=local_search_fraction,
             record_anytime=record_anytime,
+            engine=engine,
         )
         self.heuristic = heuristic
         self.objective = ObjectiveConfig(bound=self.bound)
@@ -182,12 +184,18 @@ class SearchSchedulingPolicy(SchedulingPolicy):
         )
 
         # The DFS recurses one level per waiting job; make sure deep queues
-        # cannot hit the interpreter's recursion limit.
+        # cannot hit the interpreter's recursion limit.  The raised limit is
+        # scoped to this decision — leaking it would let inflated interpreter
+        # state bleed across runs and into experiment worker processes.
         needed = len(ordered) * 3 + 100
-        if sys.getrecursionlimit() < needed:
-            sys.setrecursionlimit(needed)
-
-        result = self.searcher.search(problem)
+        prior_limit = sys.getrecursionlimit()
+        try:
+            if prior_limit < needed:
+                sys.setrecursionlimit(needed)
+            result = self.searcher.search(problem)
+        finally:
+            if sys.getrecursionlimit() != prior_limit:
+                sys.setrecursionlimit(prior_limit)
         self.stats["searched_decisions"] += 1
         self.stats["total_nodes_visited"] += result.nodes_visited
         if result.limit_hit:

@@ -21,6 +21,21 @@ priorities, max-wait — see :mod:`repro.core.criteria`) plug in via
 Branch-and-bound pruning is OFF by default — the paper explicitly leaves it
 to future work and its node accounting would differ — but is available via
 ``prune=True`` for the ablation benchmarks.
+
+Two engines implement the identical traversal:
+
+- ``engine="fast"`` (the default) — the allocation-free hot path: the
+  remaining-jobs set is an in-place index array threaded into a linked
+  list (O(1) unlink/relink per visit instead of an O(n) list slice), and
+  placements go through :class:`~repro.core.profile.SearchProfile`, whose
+  ``place``/``unplace`` never pay ``insert``/``del`` memmoves or
+  ``bisect`` calls (see ``docs/performance.md``).
+- ``engine="reference"`` — the original list-slicing DFS over
+  :class:`~repro.core.profile.AvailabilityProfile`, kept as the executable
+  specification.  Every :class:`SearchResult` field (order, starts, score,
+  node accounting) must be bit-identical between the two engines; the
+  differential tests in ``tests/test_search_fastpath.py`` and the
+  ``repro bench`` harness both hold the fast path to that contract.
 """
 
 from __future__ import annotations
@@ -140,12 +155,18 @@ class SearchResult:
     anytime: list[tuple[int, Score]] | None = None
 
     def jobs_startable_now(self, now: float) -> list[Job]:
-        """Jobs whose planned start in the best schedule is ``now``.
+        """Jobs whose planned start in the best schedule is at or before
+        ``now``.
 
-        Exact comparison on purpose: the profile returns either ``now``
-        itself or a strictly later breakpoint, and a release can occur
-        arbitrarily soon after ``now`` — any epsilon here could start a job
-        before its nodes exist.
+        The comparison is ``start <= now`` with **no epsilon tolerance**,
+        on purpose: the profile returns either ``now`` itself or a strictly
+        later breakpoint, and a release can occur arbitrarily soon after
+        ``now`` — any epsilon grace *above* ``now`` could start a job
+        before its nodes exist.  Starts strictly below ``now`` never come
+        out of ``earliest_start`` (it clamps to the profile origin) but are
+        reachable via float drift in hand-built results; ``<=`` treats them
+        as what they claim — a plan that holds the nodes from no later
+        than ``now`` — so the job starts now, not in the past.
         """
         return [
             job for job in self.best_order if self.best_starts[job.job_id] <= now
@@ -182,6 +203,11 @@ class DiscrepancySearch:
     #: deployments want the time limit.  Both may be set; whichever is
     #: exhausted first stops the search.
     time_limit_seconds: float | None = None
+    #: ``"fast"`` (allocation-free hot path, the default) or
+    #: ``"reference"`` (the executable specification).  Both return
+    #: bit-identical results; the knob exists for differential testing and
+    #: the ``repro bench`` speedup measurement.
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         if self.algorithm not in _ALGORITHMS:
@@ -194,6 +220,10 @@ class DiscrepancySearch:
             raise ValueError("local_search_fraction must be in [0, 1)")
         if self.time_limit_seconds is not None and self.time_limit_seconds <= 0:
             raise ValueError("time_limit_seconds must be > 0 or None")
+        if self.engine not in _ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from {tuple(_ENGINES)}"
+            )
 
     # ------------------------------------------------------------------
     def search(self, problem: SearchProblem) -> SearchResult:
@@ -203,7 +233,7 @@ class DiscrepancySearch:
             tree_budget = max(
                 1, round(self.node_limit * (1.0 - self.local_search_fraction))
             )
-        runner = _SearchRun(
+        runner = _ENGINES[self.engine](
             problem,
             self.algorithm,
             tree_budget,
@@ -231,16 +261,21 @@ class DiscrepancySearch:
             result.best_starts = climb.best_starts
             result.best_score = climb.best_score  # type: ignore[assignment]
             result.improved_after_first = True
+            if result.anytime is not None:
+                # The climb's improvement is part of the anytime story too:
+                # it became known after all tree + climb visits so far.
+                result.anytime.append((result.nodes_visited, result.best_score))
         return result
 
 
-class _SearchRun:
-    """Mutable state for one search invocation.
+class _SearchRunBase:
+    """Mutable state shared by both engines for one search invocation.
 
     The DFS threads an opaque accumulator ``acc`` down each path; the
     strategy closures (``_acc0``/``_extend``/``_score_of``/``_lower_of``)
     are bound in ``__init__`` to either the fast two-level path or the
-    general criteria evaluator.
+    general criteria evaluator.  Subclasses implement ``_iterate`` — one
+    full DFS for one discrepancy iteration.
     """
 
     def __init__(
@@ -264,7 +299,6 @@ class _SearchRun:
         if time_limit_seconds is not None:
             self._deadline = _wallclock.perf_counter() + time_limit_seconds
 
-        self.profile = problem.profile.copy()  # never mutate the caller's
         self.nodes_visited = 0
         self.leaves_evaluated = 0
         self.iterations_started = 0
@@ -277,6 +311,7 @@ class _SearchRun:
 
         # Per-job planning runtimes, resolved once for the whole search.
         self._rt = resolve_runtimes(problem)
+        self._now = problem.now
         self._prefix: list[tuple[Job, float]] = []
         self._acc0, self._extend, self._score_of, self._lower_of = build_strategy(
             problem, self._rt
@@ -284,8 +319,7 @@ class _SearchRun:
 
     # ------------------------------------------------------------------
     def run(self) -> SearchResult:
-        jobs = list(self.problem.jobs)
-        n = len(jobs)
+        n = len(self.problem.jobs)
         if n == 0:
             return SearchResult(
                 best_order=(),
@@ -299,14 +333,7 @@ class _SearchRun:
         try:
             for iteration in range(0, max_discrepancies(n) + 1):
                 self.iterations_started += 1
-                if self.algorithm == "lds":
-                    self._dfs_lds(jobs, iteration, self._acc0)
-                else:
-                    if iteration == 0:
-                        # DDS iteration 0 == LDS iteration 0: heuristic path.
-                        self._dfs_lds(jobs, 0, self._acc0)
-                    else:
-                        self._dfs_dds(jobs, iteration, 1, self._acc0)
+                self._iterate(iteration)
         except _StopSearch:
             self.limit_hit = True
         assert self.best_score is not None  # iteration 0 always completes
@@ -322,6 +349,9 @@ class _SearchRun:
             anytime=self.anytime,
         )
 
+    def _iterate(self, iteration: int) -> None:
+        raise NotImplementedError
+
     # ------------------------------------------------------------------
     # Shared node machinery
     # ------------------------------------------------------------------
@@ -335,19 +365,6 @@ class _SearchRun:
         if self._deadline is not None and self.nodes_visited % 64 == 0:
             if _wallclock.perf_counter() >= self._deadline:
                 raise _StopSearch
-
-    def _visit(self, job: Job) -> tuple[object, float]:
-        """Place ``job`` at its earliest start; returns (undo token, start)."""
-        self.nodes_visited += 1
-        rt = self._rt[job.job_id]
-        start = self.profile.earliest_start(job.nodes, rt, self.problem.now)
-        token = self.profile.reserve(start, rt, job.nodes, check=False)
-        self._prefix.append((job, start))
-        return token, start
-
-    def _unvisit(self, token: object) -> None:
-        self._prefix.pop()
-        self.profile.release(token)  # type: ignore[arg-type]
 
     def _leaf(self, acc: tuple[float, ...]) -> None:
         self.leaves_evaluated += 1
@@ -366,6 +383,54 @@ class _SearchRun:
         if not self.prune or self.best_score is None:
             return False
         return not (self._lower_of(acc, left) < self.best_score)
+
+
+class _ReferenceSearchRun(_SearchRunBase):
+    """The original list-slicing DFS: the fast engine's executable spec.
+
+    Each recursion level materialises the child's remaining-jobs list with
+    an O(n) slice, and placements pay the reference profile's
+    ``bisect``/``insert``/``del`` costs.  Kept verbatim so differential
+    tests (and ``repro bench``) can hold the fast engine to bit-identical
+    results and measure its speedup against the pre-optimisation baseline.
+    """
+
+    def __init__(
+        self,
+        problem: SearchProblem,
+        algorithm: str,
+        node_limit: int | None,
+        prune: bool,
+        record_anytime: bool = False,
+        time_limit_seconds: float | None = None,
+    ) -> None:
+        super().__init__(
+            problem, algorithm, node_limit, prune, record_anytime, time_limit_seconds
+        )
+        self.profile = problem.profile.copy()  # never mutate the caller's
+
+    def _iterate(self, iteration: int) -> None:
+        jobs = list(self.problem.jobs)
+        if self.algorithm == "lds":
+            self._dfs_lds(jobs, iteration, self._acc0)
+        elif iteration == 0:
+            # DDS iteration 0 == LDS iteration 0: heuristic path.
+            self._dfs_lds(jobs, 0, self._acc0)
+        else:
+            self._dfs_dds(jobs, iteration, 1, self._acc0)
+
+    def _visit(self, job: Job) -> tuple[object, float]:
+        """Place ``job`` at its earliest start; returns (undo token, start)."""
+        self.nodes_visited += 1
+        rt = self._rt[job.job_id]
+        start = self.profile.earliest_start(job.nodes, rt, self.problem.now)
+        token = self.profile.reserve(start, rt, job.nodes, check=False)
+        self._prefix.append((job, start))
+        return token, start
+
+    def _unvisit(self, token: object) -> None:
+        self._prefix.pop()
+        self.profile.release(token)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------
     # LDS: iteration k explores paths with exactly k discrepancies.
@@ -423,3 +488,195 @@ class _SearchRun:
                     self._dfs_dds(rest, iteration, level + 1, new_acc)
             finally:
                 self._unvisit(token)
+
+
+class _FastSearchRun(_SearchRunBase):
+    """The allocation-free hot path.
+
+    The remaining-jobs set is the problem's job tuple plus two flat index
+    arrays (``_nxt``/``_prv``) linking the un-placed indices in heuristic
+    order, with sentinel ``n``: choosing a job unlinks its index (O(1)),
+    backtracking relinks it (O(1)), and no per-level list is ever built.
+    The relative order of the remaining jobs — which defines what counts
+    as a discrepancy — is preserved exactly, so the traversal visits the
+    same (job, position) sequence as the reference engine.  Placements go
+    through :class:`~repro.core.profile.SearchProfile.place`/``unplace``:
+    one call per visit, no bisects, no token objects, no memmoves.
+    """
+
+    def __init__(
+        self,
+        problem: SearchProblem,
+        algorithm: str,
+        node_limit: int | None,
+        prune: bool,
+        record_anytime: bool = False,
+        time_limit_seconds: float | None = None,
+    ) -> None:
+        super().__init__(
+            problem, algorithm, node_limit, prune, record_anytime, time_limit_seconds
+        )
+        self.profile = problem.profile.search_view()
+        n = len(problem.jobs)
+        self._jobs = problem.jobs
+        self._head = n
+        self._nxt = list(range(1, n + 1)) + [0]
+        self._prv = [n] + list(range(0, n))
+
+    def _iterate(self, iteration: int) -> None:
+        n = len(self._jobs)
+        if self.algorithm == "lds":
+            self._dfs_lds(n, iteration, self._acc0)
+        elif iteration == 0:
+            # DDS iteration 0 == LDS iteration 0: heuristic path.
+            self._dfs_lds(n, 0, self._acc0)
+        else:
+            self._dfs_dds(n, iteration, 1, self._acc0)
+
+    # ------------------------------------------------------------------
+    def _chain(self, m: int, acc: tuple[float, ...]) -> None:
+        """Heuristic completion: place the ``m`` remaining jobs first-child
+        all the way down, as a loop instead of ``m`` recursion frames.
+
+        Both algorithms bottom out here — DDS below its discrepancy level
+        and LDS once its discrepancy budget is spent permit only the
+        heuristic-order child — and these chains carry most of the node
+        visits at practical budgets, so they are worth the tight loop.
+        Node accounting, budget checks, pruning, and the leaf evaluation
+        are exactly the recursive engine's.
+        """
+        nxt, prv = self._nxt, self._prv
+        jobs, rt = self._jobs, self._rt
+        place, unplace = self.profile.place, self.profile.unplace
+        prefix, extend, now = self._prefix, self._extend, self._now
+        prune = self.prune
+        head = self._head
+        chain: list[int] = []
+        try:
+            pruned = False
+            while m:
+                self._check_budget()
+                i = nxt[head]
+                job = jobs[i]
+                ni = nxt[i]
+                nxt[head] = ni
+                prv[ni] = head
+                self.nodes_visited += 1
+                start = place(job.nodes, rt[job.job_id], now)
+                prefix.append((job, start))
+                chain.append(i)
+                acc = extend(acc, job, start)
+                m -= 1
+                if prune and self._prune_child(acc, m):
+                    pruned = True
+                    break
+            if not pruned:
+                self._leaf(acc)
+        finally:
+            for i in reversed(chain):
+                prefix.pop()
+                unplace()
+                prv[nxt[i]] = i
+                nxt[head] = i
+
+    # ------------------------------------------------------------------
+    # LDS: iteration k explores paths with exactly k discrepancies.
+    # ------------------------------------------------------------------
+    def _dfs_lds(self, m: int, k_left: int, acc: tuple[float, ...]) -> None:
+        if k_left == 0:
+            # No discrepancies left: only the heuristic completion remains.
+            self._chain(m, acc)
+            return
+        if m == 0:
+            return  # budget k_left > 0 unspent: not a valid leaf
+        nxt, prv = self._nxt, self._prv
+        jobs, rt = self._jobs, self._rt
+        place, unplace = self.profile.place, self.profile.unplace
+        prefix, extend, now = self._prefix, self._extend, self._now
+        prune = self.prune
+        cap = m - 2 if m > 2 else 0  # == max(0, m - 2)
+        i = nxt[self._head]
+        for idx in range(m):
+            if idx:
+                if k_left < 1:  # a discrepancy costs 1 we don't have
+                    break
+                child_k = k_left - 1
+            else:
+                child_k = k_left
+            if child_k <= cap:  # enough levels left to spend child_k
+                self._check_budget()
+                job = jobs[i]
+                pi, ni = prv[i], nxt[i]
+                nxt[pi] = ni
+                prv[ni] = pi
+                self.nodes_visited += 1
+                start = place(job.nodes, rt[job.job_id], now)
+                prefix.append((job, start))
+                try:
+                    new_acc = extend(acc, job, start)
+                    if not prune or not self._prune_child(new_acc, m - 1):
+                        self._dfs_lds(m - 1, child_k, new_acc)
+                finally:
+                    prefix.pop()
+                    unplace()
+                    nxt[pi] = i
+                    prv[ni] = i
+                i = ni
+            else:
+                i = nxt[i]
+
+    # ------------------------------------------------------------------
+    # DDS: iteration i forces a discrepancy at level i, allows anything
+    # above, prohibits any below (levels are 1-based).
+    # ------------------------------------------------------------------
+    def _dfs_dds(
+        self, m: int, iteration: int, level: int, acc: tuple[float, ...]
+    ) -> None:
+        if level > iteration:
+            # Below the discrepancy level only the heuristic child is
+            # allowed, all the way down: run the chain as a loop.
+            self._chain(m, acc)
+            return
+        if m == 0:
+            self._leaf(acc)
+            return
+        if level < iteration:
+            lo, hi = 0, m
+        else:  # level == iteration
+            if m < 2:
+                return  # no discrepancy possible; iteration covers nothing here
+            lo, hi = 1, m
+        nxt, prv = self._nxt, self._prv
+        jobs, rt = self._jobs, self._rt
+        place, unplace = self.profile.place, self.profile.unplace
+        prefix, extend, now = self._prefix, self._extend, self._now
+        prune = self.prune
+        i = nxt[self._head]
+        for _ in range(lo):
+            i = nxt[i]
+        for _pos in range(lo, hi):
+            self._check_budget()
+            job = jobs[i]
+            pi, ni = prv[i], nxt[i]
+            nxt[pi] = ni
+            prv[ni] = pi
+            self.nodes_visited += 1
+            start = place(job.nodes, rt[job.job_id], now)
+            prefix.append((job, start))
+            try:
+                new_acc = extend(acc, job, start)
+                if not prune or not self._prune_child(new_acc, m - 1):
+                    self._dfs_dds(m - 1, iteration, level + 1, new_acc)
+            finally:
+                prefix.pop()
+                unplace()
+                nxt[pi] = i
+                prv[ni] = i
+            i = ni
+
+
+#: Engine name -> run class (the ``DiscrepancySearch.engine`` knob).
+_ENGINES: dict[str, type[_SearchRunBase]] = {
+    "fast": _FastSearchRun,
+    "reference": _ReferenceSearchRun,
+}

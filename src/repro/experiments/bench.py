@@ -1,0 +1,194 @@
+"""Search hot-path benchmark: the ``BENCH_search.json`` perf trajectory.
+
+The scheduler's cost is dominated by the per-decision discrepancy search
+(the paper's §2.3 overhead measurement), so this module times exactly that
+operation: one node-limited search over a fixed 30-job decision point on a
+partially busy 128-node machine — the same scenario as
+``benchmarks/bench_overhead.py`` — for the paper's two flagship policies
+(``DDS/lxf/dynB`` and ``LDS/fcfs/dynB``) at L ∈ {1K, 10K, 100K}.
+
+Each configuration is timed for both search engines (the allocation-free
+``"fast"`` hot path and the ``"reference"`` executable spec; see
+:mod:`repro.core.search`), and the two runs are asserted bit-identical —
+a perf number measured against a wrong result is worthless.  The report
+records nodes/sec and wall seconds per decision per (config, engine),
+plus the fast-over-reference speedup per config.
+
+``repro bench`` writes the report to ``BENCH_search.json`` at the repo
+root so future perf PRs have a committed baseline to beat; the
+``bench-smoke`` CI job regenerates it with ``--quick`` on every push.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.core.branching import order_jobs
+from repro.core.objective import DynamicBound, ObjectiveConfig
+from repro.core.profile import AvailabilityProfile
+from repro.core.search import DiscrepancySearch, SearchProblem, SearchResult
+from repro.simulator.job import Job
+from repro.util.rng import RngStream
+from repro.util.timeunits import HOUR
+
+#: Report format version (bump on incompatible layout changes).
+SCHEMA = "repro-bench-search/v1"
+
+#: The two flagship policy shapes the paper benchmarks (§2.3, §3).
+POLICIES: tuple[tuple[str, str], ...] = (("dds", "lxf"), ("lds", "fcfs"))
+
+FULL_LIMITS: tuple[int, ...] = (1_000, 10_000, 100_000)
+#: ``--quick`` keeps CI smoke runs in seconds, not minutes.
+QUICK_LIMITS: tuple[int, ...] = (1_000, 10_000)
+
+
+def build_problem(heuristic: str = "lxf", n_jobs: int = 30) -> SearchProblem:
+    """A fixed, deterministic decision point: ``n_jobs`` waiting jobs
+    ordered by ``heuristic`` on a partially busy 128-node machine.
+
+    Mirrors the 30-job scenario of ``benchmarks/bench_overhead.py`` (the
+    paper's own overhead measurement uses a 30-job tree) but routes the
+    consideration order through the real branching heuristic, so lxf and
+    fcfs benchmarks explore genuinely different trees.
+    """
+    rng = RngStream(7, "overhead")
+    jobs = []
+    for i in range(n_jobs):
+        job = Job(
+            job_id=i,
+            submit_time=float(rng.uniform(0, 4 * HOUR)),
+            nodes=int(rng.integers(1, 65)),
+            runtime=float(rng.uniform(600, 12 * HOUR)),
+        )
+        job.mark_waiting()
+        jobs.append(job)
+    now = 4 * HOUR
+    bound = DynamicBound()
+    ordered = order_jobs(jobs, heuristic, now)
+    profile = AvailabilityProfile.from_segments(
+        128, [(4 * HOUR, 40), (6 * HOUR, 90), (9 * HOUR, 128)]
+    )
+    return SearchProblem(
+        jobs=tuple(ordered),
+        profile=profile,
+        now=now,
+        omega=bound.value(now, ordered),
+        objective=ObjectiveConfig(bound=bound),
+    )
+
+
+def _fingerprint(result: SearchResult) -> tuple[Any, ...]:
+    """The fields the ISSUE's bit-identity contract covers."""
+    return (
+        tuple(j.job_id for j in result.best_order),
+        tuple(sorted(result.best_starts.items())),
+        result.best_score,
+        result.nodes_visited,
+        result.leaves_evaluated,
+    )
+
+
+def time_search(
+    problem: SearchProblem,
+    algorithm: str,
+    node_limit: int,
+    engine: str,
+    repeats: int = 3,
+) -> tuple[SearchResult, float]:
+    """Run the search ``repeats`` times; return (result, best wall seconds)."""
+    searcher = DiscrepancySearch(algorithm, node_limit=node_limit, engine=engine)
+    best = float("inf")
+    result: SearchResult | None = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = searcher.search(problem)
+        best = min(best, time.perf_counter() - t0)
+    assert result is not None
+    return result, best
+
+
+def run_bench(
+    quick: bool = False,
+    repeats: int = 3,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Time every (policy, L, engine) combination and build the report."""
+    limits = QUICK_LIMITS if quick else FULL_LIMITS
+    say = progress if progress is not None else (lambda _msg: None)
+    configs: list[dict[str, Any]] = []
+    speedups: dict[str, float] = {}
+    for algorithm, heuristic in POLICIES:
+        problem = build_problem(heuristic)
+        policy_name = f"{algorithm.upper()}/{heuristic}/dynB"
+        for node_limit in limits:
+            per_engine: dict[str, tuple[SearchResult, float]] = {}
+            for engine in ("fast", "reference"):
+                result, seconds = time_search(
+                    problem, algorithm, node_limit, engine, repeats=repeats
+                )
+                per_engine[engine] = (result, seconds)
+                configs.append(
+                    {
+                        "policy": policy_name,
+                        "algorithm": algorithm,
+                        "heuristic": heuristic,
+                        "bound": "dynB",
+                        "node_limit": node_limit,
+                        "engine": engine,
+                        "nodes_visited": result.nodes_visited,
+                        "leaves_evaluated": result.leaves_evaluated,
+                        "seconds_per_decision": seconds,
+                        "nodes_per_second": result.nodes_visited / seconds,
+                    }
+                )
+            fast, reference = per_engine["fast"], per_engine["reference"]
+            if _fingerprint(fast[0]) != _fingerprint(reference[0]):
+                raise AssertionError(
+                    f"engines disagree on {policy_name} at L={node_limit}: "
+                    "fast and reference results must be bit-identical"
+                )
+            key = f"{policy_name}@L={node_limit}"
+            speedups[key] = reference[1] / fast[1]
+            say(
+                f"{key}: fast {fast[0].nodes_visited / fast[1]:,.0f} n/s, "
+                f"reference {reference[0].nodes_visited / reference[1]:,.0f} n/s "
+                f"({speedups[key]:.2f}x)"
+            )
+    return {
+        "schema": SCHEMA,
+        "benchmark": "search-hotpath-30-jobs",
+        "quick": quick,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "configs": configs,
+        "speedups": speedups,
+    }
+
+
+def write_bench(
+    path: str | Path,
+    quick: bool = False,
+    repeats: int = 3,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Run the benchmark and write the JSON report to ``path``."""
+    report = run_bench(quick=quick, repeats=repeats, progress=progress)
+    out = Path(path)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def main() -> int:  # pragma: no cover - thin wrapper for ``python -m``
+    write_bench("BENCH_search.json", progress=print)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -15,6 +15,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.util.timeunits import TIME_EPS, time_eq
+
 
 class EventKind(enum.Enum):
     ARRIVAL = "arrival"
@@ -58,13 +60,19 @@ class EventQueue:
         """Time of the next event, or ``None`` if the queue is empty."""
         return self._heap[0].time if self._heap else None
 
-    def pop_simultaneous(self, eps: float = 1e-9) -> list[Event]:
-        """Pop every event sharing the earliest timestamp (within ``eps``)."""
+    def pop_simultaneous(self, eps: float = TIME_EPS) -> list[Event]:
+        """Pop every event sharing the earliest timestamp (within ``eps``).
+
+        ``eps`` defaults to :data:`repro.util.timeunits.TIME_EPS` so the
+        engine's notion of "simultaneous" is the same one the availability
+        profile and the timeseries use — a batch the engine folds into one
+        decision point is also one breakpoint to ``from_running``.
+        """
         if not self._heap:
             raise IndexError("pop from empty EventQueue")
         first = heapq.heappop(self._heap)
         batch = [first]
-        while self._heap and abs(self._heap[0].time - first.time) <= eps:
+        while self._heap and time_eq(self._heap[0].time, first.time, eps):
             batch.append(heapq.heappop(self._heap))
         return batch
 

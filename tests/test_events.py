@@ -1,8 +1,11 @@
 """Unit tests for the event queue."""
 
+import inspect
+
 import pytest
 
 from repro.simulator.events import EventKind, EventQueue
+from repro.util.timeunits import TIME_EPS, time_eq
 
 
 def test_pops_in_time_order():
@@ -30,6 +33,36 @@ def test_pop_simultaneous_batches_equal_times():
     assert [e.payload for e in batch] == ["a", "b"]
     assert len(q) == 1
     assert q.peek_time() == 2.0
+
+
+def test_pop_simultaneous_tolerance_is_time_eps():
+    """Regression: "simultaneous" must be the system-wide TIME_EPS.
+
+    The queue used to hardcode ``eps=1e-9`` while the profile and the
+    timeseries used ``TIME_EPS`` — two drifting definitions meant the
+    engine could batch two events into one decision point that
+    ``AvailabilityProfile.from_running`` refuses to fold (or vice versa).
+    """
+    default = inspect.signature(EventQueue.pop_simultaneous).parameters["eps"]
+    assert default.default == TIME_EPS
+
+
+@pytest.mark.parametrize("gap_factor", [0.5, 1.0, 2.0, 10.0])
+def test_pop_simultaneous_agrees_with_time_eq(gap_factor):
+    """Events batch together exactly when ``time_eq`` calls them equal,
+    so the engine and the profile share one notion of simultaneity."""
+    base = 1_000.0
+    gap = gap_factor * TIME_EPS
+    q = EventQueue()
+    q.push(base, EventKind.ARRIVAL, "a")
+    q.push(base + gap, EventKind.FINISH, "b")
+    batch = q.pop_simultaneous()
+    if time_eq(base, base + gap):
+        assert [e.payload for e in batch] == ["a", "b"]
+        assert len(q) == 0
+    else:
+        assert [e.payload for e in batch] == ["a"]
+        assert q.peek_time() == base + gap
 
 
 def test_pop_empty_raises():

@@ -157,6 +157,76 @@ def test_arbitrary_feasible_reserves_round_trip(reservations):
     assert p.segments() == [(0.0, CAPACITY)]
 
 
+# ----------------------------------------------------------------------
+# Differential properties: SearchProfile (the flat-array undo-stack fast
+# path) against AvailabilityProfile (the reference), which the search
+# engines' bit-identity contract rests on.
+# ----------------------------------------------------------------------
+
+
+@given(st.lists(reservation, max_size=10), st.lists(query, min_size=1, max_size=6))
+@settings(max_examples=150, deadline=None)
+def test_search_view_earliest_start_matches_reference(reservations, queries):
+    """``SearchProfile.earliest_start`` returns the exact float the
+    reference implementation returns, on any reachable profile shape."""
+    p = _build(reservations)
+    view = p.search_view()
+    for nodes, duration, earliest in queries:
+        assert view.earliest_start(nodes, duration, earliest) == p.earliest_start(
+            nodes, duration, earliest
+        )
+    assert view.segments() == p.segments()
+
+
+@given(st.lists(reservation, max_size=10), st.lists(query, min_size=1, max_size=10))
+@settings(max_examples=150, deadline=None)
+def test_search_view_place_matches_reserve(reservations, placements):
+    """A ``place`` sequence produces bit-identical starts and segments to
+    the reference's earliest_start + reserve sequence."""
+    p = _build(reservations)
+    view = p.search_view()
+    for nodes, duration, earliest in placements:
+        expected = p.earliest_start(nodes, duration, earliest)
+        p.reserve(expected, duration, nodes, check=False)
+        assert view.place(nodes, duration, earliest) == expected
+        assert view.segments() == p.segments()
+        view.check_invariants()
+
+
+@given(st.lists(reservation, max_size=8), st.lists(query, min_size=1, max_size=12))
+@settings(max_examples=150, deadline=None)
+def test_search_view_deep_lifo_restores_exactly(reservations, placements):
+    """Unwinding a deep undo stack restores the profile exactly — every
+    intermediate depth matches the snapshot taken on the way down."""
+    p = _build(reservations)
+    view = p.search_view()
+    base = p.segments()
+    snapshots = [base]
+    for nodes, duration, earliest in placements:
+        view.place(nodes, duration, earliest)
+        snapshots.append(view.segments())
+    assert view.depth == len(placements)
+    while view.depth:
+        snapshots.pop()
+        view.unplace()
+        assert view.segments() == snapshots[-1]
+        view.check_invariants()
+    assert view.segments() == base
+
+
+@given(st.lists(reservation, max_size=8), st.lists(query, min_size=1, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_search_view_does_not_touch_source_profile(reservations, placements):
+    p = _build(reservations)
+    before = p.segments()
+    view = p.search_view()
+    for nodes, duration, earliest in placements:
+        view.place(nodes, duration, earliest)
+    view.unwind()
+    assert view.depth == 0
+    assert p.segments() == before
+
+
 running_job = st.tuples(
     st.integers(min_value=1, max_value=CAPACITY // 2),
     st.floats(min_value=0.0, max_value=300.0, allow_nan=False),

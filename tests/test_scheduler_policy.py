@@ -64,6 +64,32 @@ def test_started_jobs_fit_free_nodes(cluster4):
     assert len(started) == 2  # exactly the machine's worth
 
 
+def test_decide_restores_recursion_limit(cluster4):
+    """Regression: ``decide`` raises the interpreter recursion limit for
+    deep queues but must restore it afterwards — the inflated limit used
+    to leak across runs and into experiment worker processes."""
+    import sys
+
+    cluster = Cluster(cluster4)
+    waiting = [
+        make_job(job_id=i, submit=0.0, nodes=1, runtime=HOUR, waiting=True)
+        for i in range(70)
+    ]
+    policy = make_policy("dds", "lxf", node_limit=30)
+    prior = sys.getrecursionlimit()
+    lowered = 300
+    # The queue is deep enough that decide() must raise the limit...
+    assert lowered < 3 * len(waiting) + 100
+    sys.setrecursionlimit(lowered)
+    try:
+        started = policy.decide(0.0, waiting, [], cluster)
+        assert started  # the search ran and chose someone
+        # ... and shallow enough that it must put it back.
+        assert sys.getrecursionlimit() == lowered
+    finally:
+        sys.setrecursionlimit(prior)
+
+
 def test_stats_accumulate(cluster4):
     jobs = [
         make_job(job_id=i, submit=float(i), nodes=2, runtime=HOUR) for i in range(6)

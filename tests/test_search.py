@@ -9,7 +9,7 @@ import pytest
 from repro.core.objective import DynamicBound, FixedBound, ObjectiveConfig
 from repro.core.profile import AvailabilityProfile
 from repro.core.schedule_builder import build_schedule
-from repro.core.search import DiscrepancySearch, SearchProblem
+from repro.core.search import DiscrepancySearch, SearchProblem, SearchResult
 from repro.util.timeunits import HOUR
 
 from tests.conftest import make_job
@@ -51,6 +51,31 @@ def test_single_job_starts_now_if_machine_free():
     result = DiscrepancySearch("dds", node_limit=10).search(_problem([job]))
     assert result.best_starts[1] == 0.0
     assert result.jobs_startable_now(0.0) == [job]
+
+
+def test_jobs_startable_now_boundary():
+    """``jobs_startable_now`` uses ``start <= now``, no epsilon.
+
+    A start strictly below ``now`` never comes out of ``earliest_start``
+    (it clamps to the profile origin) but is reachable via float drift in
+    a hand-built result; ``<=`` treats it as "start now", never as a start
+    in the past.  A start any amount *above* ``now`` must not launch —
+    its nodes do not exist yet.
+    """
+    drifted = make_job(job_id=1, submit=0.0, nodes=1, runtime=HOUR, waiting=True)
+    on_time = make_job(job_id=2, submit=0.0, nodes=1, runtime=HOUR, waiting=True)
+    future = make_job(job_id=3, submit=0.0, nodes=1, runtime=HOUR, waiting=True)
+    now = 100.0
+    result = SearchResult(
+        best_order=(drifted, on_time, future),
+        best_starts={1: now - 1e-9, 2: now, 3: now + 1e-9},
+        best_score=None,
+        nodes_visited=3,
+        leaves_evaluated=1,
+        iterations_started=1,
+        limit_hit=False,
+    )
+    assert result.jobs_startable_now(now) == [drifted, on_time]
 
 
 def test_iteration0_equals_heuristic_schedule():

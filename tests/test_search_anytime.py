@@ -53,6 +53,31 @@ def test_anytime_records_improvements():
     assert profile[-1][1] == result.best_score
 
 
+def test_anytime_records_hill_climb_improvement():
+    """Regression: an improvement found by the hill-climbing pass must show
+    up in the anytime profile, or anytime plots silently understate every
+    ``local_search_fraction > 0`` configuration."""
+    problem = _problem(8)
+    tree_only = DiscrepancySearch("dds", node_limit=150, record_anytime=True)
+    hybrid = DiscrepancySearch(
+        "dds", node_limit=150, record_anytime=True, local_search_fraction=0.5
+    )
+    base = tree_only.search(problem)
+    result = hybrid.search(problem)
+    # This configuration is chosen so the climb actually improves on the
+    # (smaller) tree budget's best.
+    assert result.improved_after_first
+    assert result.best_score < base.best_score
+    # The climb's improvement is the final anytime entry, stamped with the
+    # total node count (tree + climb visits).
+    assert result.anytime is not None
+    assert result.anytime[-1] == (result.nodes_visited, result.best_score)
+    # The curve stays monotone: node counts increase, scores improve.
+    for (n_a, s_a), (n_b, s_b) in zip(result.anytime, result.anytime[1:]):
+        assert n_b > n_a
+        assert s_b < s_a
+
+
 def test_anytime_quality_monotone_in_budget():
     """The anytime curve is exactly why more budget never hurts: the best
     at any prefix of the node count is the best the smaller budget had."""
