@@ -1,0 +1,449 @@
+"""The ``engine="parallel"`` runner: sharded DFS over a persistent pool.
+
+One :class:`_ParallelSearchRun` executes a single scheduling decision:
+
+1. **Iteration 0 runs in the leader.**  The pure-heuristic path is the
+   anytime guarantee (it must complete even when ``L`` is smaller than the
+   queue) and its score seeds every shard's incumbent, so shards only
+   report *strict global improvements* — which is what makes the merge's
+   serial-rank tie-break reproduce the serial engine exactly.
+2. **The tree is statically partitioned** (``enumerate_shards`` /
+   ``plan_shards`` in :mod:`repro.core.search`): each shard is a path from
+   an iteration root plus the entire subtree below it, with the exact
+   slice of the node budget the serial engine would have spent there.
+   Nothing in the partition depends on the worker count.
+3. **Shards fan out** to the persistent pool of
+   :mod:`repro.util.workerpool` as batches balanced by predicted node
+   count.  Each worker deserialises the :class:`SearchProblem` once per
+   batch and runs the existing allocation-free DFS
+   (:class:`_ShardRun` below) — replaying the shard's path, then
+   exploring its subtree under the shard budget.
+4. **Merge** (``merge_shard_outcomes``) folds shard bests in serial rank
+   order.
+
+Determinism contract (``prune=False``): bit-identical to
+``engine="fast"`` at any node budget, and invariant to
+``search_workers``.  With ``prune=True`` shards prune against the
+iteration-0 incumbent independently, so results are still invariant to
+worker count but node accounting differs from serial (shard budgets are
+allocated from *unpruned* subtree sizes).  With ``share_incumbent=True``
+workers additionally exchange incumbents through the pool's shared-memory
+blackboard — faster pruning, but node accounting then depends on worker
+timing (documented as budget-nondeterministic; schedules remain valid).
+
+Robustness: if the problem cannot be pickled (criteria evaluators may
+hold lambdas), the pool is unavailable, or a worker transport fails, the
+same shard tasks run inline in the leader — by construction the results
+are identical, only slower.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import sys
+from typing import Any, Callable, Sequence
+
+from repro.core.objective import ScheduleScore
+from repro.core.search import (
+    SearchProblem,
+    SearchResult,
+    ShardOutcome,
+    ShardPlan,
+    ShardTask,
+    _FastSearchRun,
+    _StopSearch,
+    enumerate_shards,
+    merge_shard_outcomes,
+    plan_shards,
+    shard_grain,
+)
+from repro.core.search_tree import max_discrepancies
+from repro.util import workerpool
+from repro.util.sanitize import sanitize_enabled, sanitized
+
+#: Generation stamps for the incumbent blackboard: pools persist across
+#: decisions, so stale broadcasts from a previous search must be fenced.
+_generations = itertools.count(1)
+
+#: How often (in counted node visits) a sharing shard polls the blackboard.
+_POLL_MASK = 255
+
+
+class _ShardRun(_FastSearchRun):
+    """One shard's DFS: replay the prefix path, then explore the subtree.
+
+    Differences from a serial run, each load-bearing for determinism:
+
+    - **No first-leaf exemption** in the budget check — iteration 0
+      already completed in the leader, so the serial engine would be
+      checking every one of these visits.
+    - ``node_limit`` is the shard's slice of the serial budget; hitting it
+      mirrors the serial truncation exactly (prune off).
+    - ``best_score`` is pre-seeded with the leader's iteration-0 incumbent
+      (never with order/starts): the shard reports a best only on strict
+      improvement, so ``best_order`` left empty means "nothing better
+      here" and the merge's rank tie-break does the rest.
+    """
+
+    def __init__(
+        self,
+        problem: SearchProblem,
+        algorithm: str,
+        budget: int | None,
+        prune: bool,
+        record_anytime: bool,
+        incumbent: Any,
+        poll: Callable[[], Any] | None = None,
+        publish: Callable[[Any], None] | None = None,
+    ) -> None:
+        super().__init__(problem, algorithm, budget, prune, record_anytime)
+        self.best_score = incumbent
+        self._poll = poll
+        self._publish = publish
+
+    def _check_budget(self) -> None:
+        if self.node_limit is not None and self.nodes_visited >= self.node_limit:
+            raise _StopSearch
+        if self._poll is not None and (self.nodes_visited & _POLL_MASK) == 0:
+            shared = self._poll()
+            if shared is not None and shared < self.best_score:
+                # A foreign incumbent only tightens pruning; best_order
+                # stays empty unless this shard itself beats it.
+                self.best_score = shared
+
+    def _leaf(self, acc: tuple[float, ...]) -> None:
+        before = self.best_score
+        super()._leaf(acc)
+        if self._publish is not None and self.best_score is not before:
+            self._publish(self.best_score)
+
+    def run_shard(self, iteration: int, path: tuple[int, ...], counted: int) -> None:
+        """Replay ``path`` (child positions from the iteration root), then
+        run the subtree DFS.  Only the trailing ``counted`` placements are
+        budget-checked and counted — the leading ones were counted by an
+        earlier shard sharing the prefix and are pure state setup here."""
+        nxt, prv = self._nxt, self._prv
+        jobs, rt = self._jobs, self._rt
+        place = self.profile.place
+        n = len(jobs)
+        lds = self.algorithm == "lds"
+        k_left = iteration  # LDS: discrepancy budget left along the path
+        level = 1  # DDS: 1-based tree level
+        acc = self._acc0
+        free = len(path) - counted
+        trail: list[int] = []
+        pruned = False
+        try:
+            for depth, pos in enumerate(path):
+                if depth >= free:
+                    self._check_budget()
+                    self.nodes_visited += 1
+                i = nxt[self._head]
+                for _ in range(pos):
+                    i = nxt[i]
+                job = jobs[i]
+                pi, ni = prv[i], nxt[i]
+                nxt[pi] = ni
+                prv[ni] = pi
+                trail.append(i)
+                start = place(job.nodes, rt[job.job_id], self._now)
+                self._prefix.append((job, start))
+                acc = self._extend(acc, job, start)
+                if lds:
+                    if pos:
+                        k_left -= 1
+                else:
+                    level += 1
+                if self.prune and self._prune_child(acc, n - depth - 1):
+                    pruned = True
+                    break
+            if not pruned:
+                m = n - len(path)
+                if lds:
+                    self._dfs_lds(m, k_left, acc)
+                else:
+                    self._dfs_dds(m, iteration, level, acc)
+        except _StopSearch:
+            self.limit_hit = True
+        finally:
+            for i in reversed(trail):
+                self._prefix.pop()
+                self.profile.unplace()
+                nxt[prv[i]] = i
+                prv[nxt[i]] = i
+
+
+def _outcome_of(run: _ShardRun, rank: int) -> ShardOutcome:
+    order: tuple[int, ...] = ()
+    starts: tuple[float, ...] = ()
+    best: Any = None
+    if run.best_order:
+        order = tuple(job.job_id for job in run.best_order)
+        starts = tuple(run.best_starts[job_id] for job_id in order)
+        best = run.best_score
+    return ShardOutcome(
+        rank=rank,
+        nodes_visited=run.nodes_visited,
+        leaves_evaluated=run.leaves_evaluated,
+        limit_hit=run.limit_hit,
+        best_order=order,
+        best_starts=starts,
+        best_score=best,
+        improvements=tuple(run.anytime) if run.anytime is not None else (),
+    )
+
+
+def _blackboard_io(
+    board: Any, generation: int
+) -> tuple[Callable[[], Any], Callable[[Any], None]]:
+    """Poll/publish closures over a pool blackboard, fenced by generation.
+
+    Layout: slot 0 generation stamp, slot 1 validity flag, slots 2-3 the
+    incumbent's (excess, slowdown) — the paper's two-level score.  Only
+    two-level objectives broadcast; the leader disables sharing when a
+    criteria evaluator is in play.
+    """
+    stamp = float(generation)
+
+    def poll() -> Any:
+        with board.get_lock():
+            if board[0] != stamp or board[1] == 0.0:
+                return None
+            return ScheduleScore(board[2], board[3], 0)
+
+    def publish(score: Any) -> None:
+        if not isinstance(score, ScheduleScore):
+            return
+        with board.get_lock():
+            if (
+                board[0] == stamp
+                and board[1] != 0.0
+                and (board[2], board[3])
+                <= (score.total_excessive_wait, score.total_slowdown)
+            ):
+                return  # current incumbent is at least as good
+            board[0] = stamp
+            board[1] = 1.0
+            board[2] = score.total_excessive_wait
+            board[3] = score.total_slowdown
+
+    return poll, publish
+
+
+def _execute_tasks(
+    problem: SearchProblem,
+    algorithm: str,
+    prune: bool,
+    record_anytime: bool,
+    incumbent: Any,
+    tasks: Sequence[tuple[int, int, tuple[int, ...], int, int | None]],
+    board: Any = None,
+    generation: int = 0,
+) -> list[ShardOutcome]:
+    """Run shard tasks sequentially — the body of both the worker batch
+    and the leader's inline fallback."""
+    poll = publish = None
+    if board is not None:
+        poll, publish = _blackboard_io(board, generation)
+    n = len(problem.jobs)
+    old_limit = sys.getrecursionlimit()
+    needed = n * 3 + 100  # same headroom the scheduler grants its searches
+    if needed > old_limit:
+        sys.setrecursionlimit(needed)
+    try:
+        outcomes: list[ShardOutcome] = []
+        for rank, iteration, path, counted, budget in tasks:
+            run = _ShardRun(
+                problem, algorithm, budget, prune, record_anytime, incumbent,
+                poll, publish,
+            )
+            run.run_shard(iteration, path, counted)
+            outcomes.append(_outcome_of(run, rank))
+        return outcomes
+    finally:
+        if needed > old_limit:
+            sys.setrecursionlimit(old_limit)
+
+
+def _run_shard_batch(
+    blob: bytes,
+    algorithm: str,
+    prune: bool,
+    record_anytime: bool,
+    sanitize: bool,
+    generation: int,
+    share: bool,
+    tasks: tuple[tuple[int, int, tuple[int, ...], int, int | None], ...],
+) -> list[ShardOutcome]:
+    """Worker-side entry point (must stay a picklable top-level function).
+
+    The sanitize flag travels in the payload: the leader's in-process
+    override does not propagate to pool workers forked earlier, and the
+    ``search_view()`` built per shard caches the flag at construction."""
+    problem, incumbent = pickle.loads(blob)
+    board = workerpool.worker_blackboard() if share else None
+    with sanitized(sanitize):
+        return _execute_tasks(
+            problem, algorithm, prune, record_anytime, incumbent,
+            tasks, board, generation,
+        )
+
+
+def _balance(tasks: Sequence[ShardTask], workers: int) -> list[list[ShardTask]]:
+    """Deterministic LPT assignment of shard tasks into worker batches.
+
+    Two buckets per worker give the tail somewhere to drain; ties break on
+    serial rank so the batching — which cannot affect results, only wall
+    time — is itself reproducible."""
+    buckets = min(len(tasks), max(1, workers) * 2)
+    if buckets <= 1:
+        return [list(tasks)]
+    weighted = sorted(
+        tasks,
+        key=lambda t: (-(t.budget if t.budget is not None else t.shard.nodes),
+                       t.shard.rank),
+    )
+    loads = [0] * buckets
+    batches: list[list[ShardTask]] = [[] for _ in range(buckets)]
+    for task in weighted:
+        target = min(range(buckets), key=lambda b: (loads[b], b))
+        weight = task.budget if task.budget is not None else task.shard.nodes
+        loads[target] += weight
+        batches[target].append(task)
+    return [batch for batch in batches if batch]
+
+
+class _ParallelSearchRun:
+    """Leader for one parallel search (mirrors the serial runners' API)."""
+
+    def __init__(
+        self,
+        problem: SearchProblem,
+        algorithm: str,
+        node_limit: int | None,
+        prune: bool,
+        record_anytime: bool = False,
+        time_limit_seconds: float | None = None,
+        search_workers: int = 1,
+        share_incumbent: bool = False,
+    ) -> None:
+        if time_limit_seconds is not None:  # DiscrepancySearch rejects earlier
+            raise ValueError("engine='parallel' does not support time limits")
+        self.problem = problem
+        self.algorithm = algorithm
+        self.node_limit = node_limit
+        self.prune = prune
+        self.record_anytime = record_anytime
+        self.search_workers = search_workers
+        self.share_incumbent = share_incumbent
+
+    # ------------------------------------------------------------------
+    def run(self) -> SearchResult:
+        problem = self.problem
+        n = len(problem.jobs)
+        base_run = _FastSearchRun(
+            problem, self.algorithm, self.node_limit, self.prune, self.record_anytime
+        )
+        if n == 0:
+            return base_run.run()
+        # Iteration 0 in the leader: always completes (first-leaf
+        # exemption), provides the anytime guarantee and the seed incumbent.
+        base_run.iterations_started = 1
+        base_run._iterate(0)
+        base = SearchResult(
+            best_order=base_run.best_order,
+            best_starts=base_run.best_starts,
+            best_score=base_run.best_score,
+            nodes_visited=base_run.nodes_visited,
+            leaves_evaluated=base_run.leaves_evaluated,
+            iterations_started=1,
+            limit_hit=False,
+            anytime=base_run.anytime,
+        )
+        max_disc = max_discrepancies(n)
+        if max_disc == 0:
+            return base
+        runnable = None if self.node_limit is None else self.node_limit - base.nodes_visited
+        shards = enumerate_shards(
+            n, self.algorithm, shard_grain(self.node_limit, n), runnable
+        )
+        plan = plan_shards(shards, self.node_limit, base.nodes_visited, max_disc + 1)
+        outcomes = self._execute(plan, base.best_score)
+        jobs_by_id = {job.job_id: job for job in problem.jobs}
+        return merge_shard_outcomes(
+            base, plan, outcomes, jobs_by_id, self.record_anytime
+        )
+
+    # ------------------------------------------------------------------
+    def _execute(self, plan: ShardPlan, incumbent: Any) -> list[ShardOutcome]:
+        if not plan.tasks:
+            return []
+        pool: workerpool.WorkerPool | None = None
+        blob: bytes | None = None
+        if self.search_workers > 1:
+            candidate = workerpool.get_pool(self.search_workers)
+            if candidate.ensure_started(warm=False):
+                try:
+                    blob = pickle.dumps(
+                        (self.problem, incumbent), pickle.HIGHEST_PROTOCOL
+                    )
+                    pool = candidate
+                except Exception:
+                    blob = None  # evaluator closures: run inline instead
+        if pool is None or blob is None:
+            return self._execute_inline(plan, incumbent)
+        share = (
+            self.share_incumbent
+            and self.prune
+            and pool.blackboard is not None
+            and self.problem.evaluator is None
+        )
+        generation = 0
+        if share and isinstance(incumbent, ScheduleScore):
+            generation = next(_generations)
+            board = pool.blackboard
+            with board.get_lock():
+                board[0] = float(generation)
+                board[1] = 1.0
+                board[2] = incumbent.total_excessive_wait
+                board[3] = incumbent.total_slowdown
+        sanitize = sanitize_enabled()
+        try:
+            futures = [
+                pool.submit(
+                    _run_shard_batch,
+                    blob,
+                    self.algorithm,
+                    self.prune,
+                    self.record_anytime,
+                    sanitize,
+                    generation,
+                    share,
+                    tuple(
+                        (t.shard.rank, t.shard.iteration, t.shard.path,
+                         t.shard.counted, t.budget)
+                        for t in batch
+                    ),
+                )
+                for batch in _balance(plan.tasks, self.search_workers)
+            ]
+            outcomes: list[ShardOutcome] = []
+            for future in futures:
+                outcomes.extend(future.result())
+            return outcomes
+        except Exception:
+            # Transport failure (dead workers, pickling edge case): the
+            # pool is done for, but the decision is not — rerun inline.
+            pool.mark_broken()
+            return self._execute_inline(plan, incumbent)
+
+    def _execute_inline(self, plan: ShardPlan, incumbent: Any) -> list[ShardOutcome]:
+        tasks = [
+            (t.shard.rank, t.shard.iteration, t.shard.path, t.shard.counted, t.budget)
+            for t in plan.tasks
+        ]
+        return _execute_tasks(
+            self.problem, self.algorithm, self.prune, self.record_anytime,
+            incumbent, tasks,
+        )

@@ -7,12 +7,22 @@ partially busy 128-node machine — the same scenario as
 ``benchmarks/bench_overhead.py`` — for the paper's two flagship policies
 (``DDS/lxf/dynB`` and ``LDS/fcfs/dynB``) at L ∈ {1K, 10K, 100K}.
 
-Each configuration is timed for both search engines (the allocation-free
-``"fast"`` hot path and the ``"reference"`` executable spec; see
-:mod:`repro.core.search`), and the two runs are asserted bit-identical —
-a perf number measured against a wrong result is worthless.  The report
-records nodes/sec and wall seconds per decision per (config, engine),
-plus the fast-over-reference speedup per config.
+Each configuration is timed for:
+
+- both serial search engines (the allocation-free ``"fast"`` hot path and
+  the ``"reference"`` executable spec; see :mod:`repro.core.search`),
+  asserted bit-identical — a perf number measured against a wrong result
+  is worthless;
+- the ``"parallel"`` engine at ``search_workers`` workers, *also* asserted
+  bit-identical to ``"fast"`` (its determinism contract holds at any
+  budget);
+- a ``prune=True`` ablation of the fast engine, measuring what the
+  branch-and-bound extension buys (no identity assert: pruning legitimately
+  changes node accounting).
+
+The report records nodes/sec and wall seconds per decision per row, plus
+per-config speedup ratios: ``fast`` over ``reference``, ``parallel[w=N]``
+over ``fast``, and ``prune`` over ``fast``.
 
 ``repro bench`` writes the report to ``BENCH_search.json`` at the repo
 root so future perf PRs have a committed baseline to beat; the
@@ -37,7 +47,9 @@ from repro.util.rng import RngStream
 from repro.util.timeunits import HOUR
 
 #: Report format version (bump on incompatible layout changes).
-SCHEMA = "repro-bench-search/v1"
+#: v2: per-row ``prune``/``search_workers`` fields, parallel-engine rows,
+#: prune-ablation rows, and the new speedup key families.
+SCHEMA = "repro-bench-search/v2"
 
 #: The two flagship policy shapes the paper benchmarks (§2.3, §3).
 POLICIES: tuple[tuple[str, str], ...] = (("dds", "lxf"), ("lds", "fcfs"))
@@ -99,9 +111,17 @@ def time_search(
     node_limit: int,
     engine: str,
     repeats: int = 3,
+    prune: bool = False,
+    search_workers: int = 1,
 ) -> tuple[SearchResult, float]:
     """Run the search ``repeats`` times; return (result, best wall seconds)."""
-    searcher = DiscrepancySearch(algorithm, node_limit=node_limit, engine=engine)
+    searcher = DiscrepancySearch(
+        algorithm,
+        node_limit=node_limit,
+        engine=engine,
+        prune=prune,
+        search_workers=search_workers,
+    )
     best = float("inf")
     result: SearchResult | None = None
     for _ in range(repeats):
@@ -115,37 +135,56 @@ def time_search(
 def run_bench(
     quick: bool = False,
     repeats: int = 3,
+    search_workers: int = 4,
     progress: Callable[[str], None] | None = None,
 ) -> dict[str, Any]:
-    """Time every (policy, L, engine) combination and build the report."""
+    """Time every (policy, L, variant) combination and build the report."""
+    from repro.util.workerpool import available_cores, get_pool
+
     limits = QUICK_LIMITS if quick else FULL_LIMITS
     say = progress if progress is not None else (lambda _msg: None)
     configs: list[dict[str, Any]] = []
     speedups: dict[str, float] = {}
+    if search_workers > 1:
+        # Spawn the persistent pool up front so its one-time fork cost
+        # never lands inside a timed run.
+        get_pool(search_workers).ensure_started()
     for algorithm, heuristic in POLICIES:
         problem = build_problem(heuristic)
         policy_name = f"{algorithm.upper()}/{heuristic}/dynB"
         for node_limit in limits:
+
+            def row(
+                engine: str,
+                result: SearchResult,
+                seconds: float,
+                prune: bool = False,
+                workers: int | None = None,
+            ) -> None:
+                entry: dict[str, Any] = {
+                    "policy": policy_name,
+                    "algorithm": algorithm,
+                    "heuristic": heuristic,
+                    "bound": "dynB",
+                    "node_limit": node_limit,
+                    "engine": engine,
+                    "prune": prune,
+                    "nodes_visited": result.nodes_visited,
+                    "leaves_evaluated": result.leaves_evaluated,
+                    "seconds_per_decision": seconds,
+                    "nodes_per_second": result.nodes_visited / seconds,
+                }
+                if workers is not None:
+                    entry["search_workers"] = workers
+                configs.append(entry)
+
             per_engine: dict[str, tuple[SearchResult, float]] = {}
             for engine in ("fast", "reference"):
                 result, seconds = time_search(
                     problem, algorithm, node_limit, engine, repeats=repeats
                 )
                 per_engine[engine] = (result, seconds)
-                configs.append(
-                    {
-                        "policy": policy_name,
-                        "algorithm": algorithm,
-                        "heuristic": heuristic,
-                        "bound": "dynB",
-                        "node_limit": node_limit,
-                        "engine": engine,
-                        "nodes_visited": result.nodes_visited,
-                        "leaves_evaluated": result.leaves_evaluated,
-                        "seconds_per_decision": seconds,
-                        "nodes_per_second": result.nodes_visited / seconds,
-                    }
-                )
+                row(engine, result, seconds)
             fast, reference = per_engine["fast"], per_engine["reference"]
             if _fingerprint(fast[0]) != _fingerprint(reference[0]):
                 raise AssertionError(
@@ -159,11 +198,52 @@ def run_bench(
                 f"reference {reference[0].nodes_visited / reference[1]:,.0f} n/s "
                 f"({speedups[key]:.2f}x)"
             )
+
+            # Parallel engine: same bit-identity contract as the serial
+            # engines — a parallel speedup over a different answer would
+            # be meaningless.
+            par_result, par_seconds = time_search(
+                problem,
+                algorithm,
+                node_limit,
+                "parallel",
+                repeats=repeats,
+                search_workers=search_workers,
+            )
+            row("parallel", par_result, par_seconds, workers=search_workers)
+            if _fingerprint(par_result) != _fingerprint(fast[0]):
+                raise AssertionError(
+                    f"parallel engine disagrees with fast on {policy_name} "
+                    f"at L={node_limit} with {search_workers} workers: "
+                    "results must be bit-identical"
+                )
+            par_key = f"{key}:parallel[w={search_workers}]"
+            speedups[par_key] = fast[1] / par_seconds
+            say(f"{par_key}: {speedups[par_key]:.2f}x over fast")
+
+            # Branch-and-bound ablation: prune=True legitimately changes
+            # node accounting (it skips dominated subtrees), so there is
+            # no identity assert — the measurement is wall time to decide.
+            prune_result, prune_seconds = time_search(
+                problem, algorithm, node_limit, "fast", repeats=repeats, prune=True
+            )
+            row("fast", prune_result, prune_seconds, prune=True)
+            prune_key = f"{key}:prune"
+            speedups[prune_key] = fast[1] / prune_seconds
+            say(
+                f"{prune_key}: {speedups[prune_key]:.2f}x over fast "
+                f"({prune_result.nodes_visited:,} of "
+                f"{fast[0].nodes_visited:,} nodes visited)"
+            )
     return {
         "schema": SCHEMA,
         "benchmark": "search-hotpath-30-jobs",
         "quick": quick,
         "repeats": repeats,
+        "search_workers": search_workers,
+        # Parallel speedups only mean anything relative to this: on a
+        # single-core builder the parallel rows record an honest slowdown.
+        "cores": available_cores(),
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "machine": platform.machine(),
@@ -176,10 +256,16 @@ def write_bench(
     path: str | Path,
     quick: bool = False,
     repeats: int = 3,
+    search_workers: int = 4,
     progress: Callable[[str], None] | None = None,
 ) -> dict[str, Any]:
     """Run the benchmark and write the JSON report to ``path``."""
-    report = run_bench(quick=quick, repeats=repeats, progress=progress)
+    report = run_bench(
+        quick=quick,
+        repeats=repeats,
+        search_workers=search_workers,
+        progress=progress,
+    )
     out = Path(path)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report

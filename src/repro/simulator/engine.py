@@ -102,6 +102,16 @@ class Simulation:
         self.policy.reset()
         self.policy.runtime_source.reset()
 
+        # Lifecycle hooks bracket the whole event loop: policies that hold
+        # process-wide resources (the parallel search's persistent worker
+        # pool) acquire them once per simulation, not per decision.
+        self.policy.on_simulation_begin()
+        try:
+            return self._run_loop(wall_start)
+        finally:
+            self.policy.on_simulation_end()
+
+    def _run_loop(self, wall_start: float) -> SimulationResult:
         sanitize = sanitize_enabled()
         events = EventQueue()
         for job in self.jobs:

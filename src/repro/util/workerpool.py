@@ -1,0 +1,183 @@
+"""Persistent process worker pool shared across scheduling decisions.
+
+The intra-decision parallel search engine
+(:mod:`repro.core.parallel_search`) fans each decision's shards across
+worker processes.  Decisions are frequent (thousands per simulated month)
+and individually small (milliseconds), so paying a fork + warm-up per
+decision would drown the work itself.  This module therefore keeps **one
+pool per worker count alive for the whole process**:
+
+- :func:`get_pool` returns the registered :class:`WorkerPool` for a size,
+  creating the object lazily; the underlying executor is spawned on first
+  use, or eagerly via :meth:`WorkerPool.ensure_started` — which the
+  simulation engine's ``on_simulation_begin`` lifecycle hook calls so the
+  spawn cost lands at simulation start, not inside the first decision;
+- pools stay warm across decisions *and* across simulations, and are torn
+  down at interpreter exit (or explicitly via :func:`shutdown_all`, which
+  tests use);
+- every pool carries a small shared-memory float *blackboard*, created
+  before the workers spawn and inherited by all of them, used by the
+  parallel search's opt-in incumbent broadcast (``share_incumbent``).
+
+The pool is deliberately generic: submit any picklable top-level callable
+with :meth:`WorkerPool.submit`.  If an executor cannot be created or
+breaks (exotic platforms, resource limits), the pool marks itself failed
+and callers fall back to inline execution — nothing here raises for
+"no parallelism available".
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Callable, TypeVar
+
+_T = TypeVar("_T")
+
+#: Float slots in each pool's shared blackboard.  The parallel search uses
+#: slot 0 as a generation stamp, slot 1 as a validity flag, and the rest as
+#: score payload; other consumers may claim the same slots only between
+#: generations.
+BLACKBOARD_SLOTS = 8
+
+#: Set in each worker process by the executor initializer.
+_worker_blackboard: Any = None
+
+
+def _init_worker(blackboard: Any) -> None:
+    """Executor initializer: record the inherited blackboard handle."""
+    global _worker_blackboard
+    _worker_blackboard = blackboard
+
+
+def worker_blackboard() -> Any:
+    """The pool's shared blackboard when inside a worker, else ``None``."""
+    return _worker_blackboard
+
+
+def _warm(index: int, naptime: float) -> int:
+    """No-op warm-up task; the sleep keeps early workers busy so the
+    executor actually spawns one process per outstanding task."""
+    if naptime > 0.0:
+        time.sleep(naptime)
+    return index
+
+
+def available_cores() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
+class WorkerPool:
+    """A lazily-spawned, persistent process pool of a fixed size.
+
+    Instances are cheap until :meth:`ensure_started` (or the first
+    :meth:`submit`) actually creates the executor.  A pool that fails to
+    start stays failed — callers should run inline instead.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._executor: ProcessPoolExecutor | None = None
+        self._blackboard: Any = None
+        self._failed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._executor is not None
+
+    @property
+    def blackboard(self) -> Any:
+        """The shared float array (``None`` until the pool started)."""
+        return self._blackboard
+
+    def ensure_started(self, warm: bool = True) -> bool:
+        """Spawn the executor if needed; ``False`` if unavailable.
+
+        With ``warm`` (the default) a wave of trivial tasks is pushed
+        through so every worker process exists before real work arrives —
+        the "spawned once per simulation" contract of the parallel search.
+        """
+        if self._failed:
+            return False
+        if self._executor is None:
+            try:
+                ctx = mp.get_context()
+                self._blackboard = ctx.Array("d", BLACKBOARD_SLOTS)
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=ctx,
+                    initializer=_init_worker,
+                    initargs=(self._blackboard,),
+                )
+                if warm:
+                    naptime = 0.005 if self.workers > 1 else 0.0
+                    futures = [
+                        self._executor.submit(_warm, i, naptime)
+                        for i in range(self.workers)
+                    ]
+                    for future in futures:
+                        future.result(timeout=60)
+            except Exception:
+                self.shutdown()
+                self._failed = True
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable[..., _T], /, *args: Any) -> "Future[_T]":
+        """Submit one task; raises ``RuntimeError`` if the pool is down."""
+        if not self.ensure_started(warm=False) or self._executor is None:
+            raise RuntimeError("worker pool is not available")
+        return self._executor.submit(fn, *args)
+
+    def mark_broken(self) -> None:
+        """Record a transport failure: shut down and stop trying."""
+        self.shutdown()
+        self._failed = True
+
+    def shutdown(self) -> None:
+        """Terminate the workers (the pool object itself stays reusable
+        unless it was marked broken)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        self._blackboard = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "failed" if self._failed else ("up" if self.started else "idle")
+        return f"<WorkerPool workers={self.workers} {state}>"
+
+
+# ----------------------------------------------------------------------
+# Process-wide registry: one pool per worker count, torn down atexit.
+# ----------------------------------------------------------------------
+_pools: dict[int, WorkerPool] = {}
+
+
+def get_pool(workers: int) -> WorkerPool:
+    """The process-wide persistent pool for ``workers`` workers."""
+    pool = _pools.get(workers)
+    if pool is None:
+        pool = WorkerPool(workers)
+        _pools[workers] = pool
+    return pool
+
+
+def shutdown_all() -> None:
+    """Shut down and forget every registered pool (tests, atexit)."""
+    for pool in list(_pools.values()):
+        pool.shutdown()
+    _pools.clear()
+
+
+atexit.register(shutdown_all)

@@ -1,0 +1,223 @@
+"""Differential tests: the parallel search engine against the serial one.
+
+``engine="parallel"`` carries the same hard contract as ``"fast"`` vs
+``"reference"`` (see ``test_search_fastpath.py``) plus one more clause:
+with ``prune=False`` the result — every ``SearchResult`` field, including
+node accounting, ``limit_hit`` and the anytime trace — is bit-identical
+to the serial fast engine at **any** node budget, and invariant to
+``search_workers``.  These tests enforce the contract head-to-head on
+fixed problems, across worker counts through a real process pool, over a
+full workload replay, and under ``REPRO_SANITIZE=1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import SearchSchedulingPolicy, make_policy
+from repro.core.search import DiscrepancySearch, SearchResult
+from repro.experiments.bench import build_problem
+from repro.simulator.engine import Simulation
+from repro.util.sanitize import sanitized
+from repro.workloads.synthetic import generate_month
+
+
+def _fingerprint(result: SearchResult) -> tuple:
+    return (
+        tuple(j.job_id for j in result.best_order),
+        tuple(sorted(result.best_starts.items())),
+        result.best_score,
+        result.nodes_visited,
+        result.leaves_evaluated,
+        result.iterations_started,
+        result.limit_hit,
+        result.improved_after_first,
+    )
+
+
+def _search(problem, algorithm, L, engine, workers=1, **kw):
+    searcher = DiscrepancySearch(
+        algorithm, node_limit=L, engine=engine, search_workers=workers, **kw
+    )
+    return searcher.search(problem)
+
+
+# ----------------------------------------------------------------------
+# Bit-identity on fixed problems
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm,heuristic", [("dds", "lxf"), ("lds", "fcfs")])
+@pytest.mark.parametrize("L", [137, 2000, None])
+def test_parallel_bit_identical_to_fast(algorithm, heuristic, L):
+    """Same problem, parallel vs fast, every result field equal — at an odd
+    budget that truncates mid-shard, a budget spanning iterations, and
+    exhaustively (where full-budget identity is the tentpole claim)."""
+    problem = build_problem(heuristic, n_jobs=30 if L is not None else 7)
+    fast = _search(problem, algorithm, L, "fast")
+    parallel = _search(problem, algorithm, L, "parallel", workers=2)
+    assert _fingerprint(parallel) == _fingerprint(fast)
+
+
+@pytest.mark.parametrize("algorithm", ["dds", "lds"])
+def test_parallel_invariant_to_worker_count(algorithm):
+    """Capped-budget results are identical for search_workers in {1, 2, 4}
+    — the ISSUE's worker-count invariance clause."""
+    problem = build_problem("lxf", n_jobs=30)
+    prints = {
+        w: _fingerprint(_search(problem, algorithm, 5000, "parallel", workers=w))
+        for w in (1, 2, 4)
+    }
+    assert prints[1] == prints[2] == prints[4]
+
+
+def test_parallel_anytime_trace_identical():
+    """record_anytime: the (nodes_visited, score) improvement trace matches
+    the serial engine event for event."""
+    problem = build_problem("fcfs", n_jobs=30)
+    fast = DiscrepancySearch(
+        "lds", node_limit=20_000, engine="fast", record_anytime=True
+    ).search(problem)
+    par = DiscrepancySearch(
+        "lds",
+        node_limit=20_000,
+        engine="parallel",
+        search_workers=2,
+        record_anytime=True,
+    ).search(problem)
+    assert fast.anytime == par.anytime
+    assert _fingerprint(par) == _fingerprint(fast)
+
+
+@pytest.mark.parametrize("n_jobs", [0, 1, 2])
+def test_parallel_tiny_queues(n_jobs):
+    """Degenerate queues (empty tree / heuristic-only tree) short-circuit
+    in the leader and still match the serial engine exactly."""
+    problem = build_problem("lxf", n_jobs=n_jobs)
+    fast = _search(problem, "dds", 1000, "fast")
+    parallel = _search(problem, "dds", 1000, "parallel", workers=2)
+    assert _fingerprint(parallel) == _fingerprint(fast)
+
+
+def test_parallel_prune_invariant_to_worker_count():
+    """prune=True keeps worker-count invariance (shards prune against the
+    deterministic iteration-0 incumbent); the best schedule also matches
+    the serial pruned best (pruning never discards an optimum)."""
+    problem = build_problem("lxf", n_jobs=30)
+    runs = {
+        w: _search(problem, "dds", 5000, "parallel", workers=w, prune=True)
+        for w in (1, 2, 4)
+    }
+    assert (
+        _fingerprint(runs[1]) == _fingerprint(runs[2]) == _fingerprint(runs[4])
+    )
+
+
+# ----------------------------------------------------------------------
+# Constructor validation
+# ----------------------------------------------------------------------
+def test_time_limit_rejected_with_parallel_engine():
+    """Regression: a wall-clock budget would make the visited set depend
+    on worker timing, so the combination must be refused loudly."""
+    with pytest.raises(ValueError, match="time_limit_seconds is incompatible"):
+        DiscrepancySearch(
+            "dds", node_limit=None, time_limit_seconds=1.0, engine="parallel"
+        )
+
+
+def test_search_workers_requires_parallel_engine():
+    with pytest.raises(ValueError, match="search_workers"):
+        DiscrepancySearch("dds", node_limit=100, engine="fast", search_workers=2)
+    with pytest.raises(ValueError, match="search_workers"):
+        DiscrepancySearch("dds", node_limit=100, engine="parallel", search_workers=0)
+
+
+def test_share_incumbent_requires_parallel_prune():
+    with pytest.raises(ValueError, match="share_incumbent"):
+        DiscrepancySearch("dds", node_limit=100, engine="fast", share_incumbent=True)
+    with pytest.raises(ValueError, match="share_incumbent"):
+        DiscrepancySearch(
+            "dds",
+            node_limit=100,
+            engine="parallel",
+            search_workers=2,
+            share_incumbent=True,
+            prune=False,
+        )
+
+
+def test_make_policy_selects_parallel_engine():
+    policy = make_policy("dds", "lxf", node_limit=500, search_workers=2)
+    assert policy.searcher.engine == "parallel"
+    assert policy.searcher.search_workers == 2
+    serial = make_policy("dds", "lxf", node_limit=500)
+    assert serial.searcher.engine == "fast"
+
+
+# ----------------------------------------------------------------------
+# Full workload replay
+# ----------------------------------------------------------------------
+class _RecordingSearcher:
+    """Wraps a ``DiscrepancySearch`` and fingerprints every decision."""
+
+    def __init__(self, searcher: DiscrepancySearch) -> None:
+        self._searcher = searcher
+        self.decisions: list[tuple] = []
+
+    def __getattr__(self, name):
+        return getattr(self._searcher, name)
+
+    def search(self, problem) -> SearchResult:
+        result = self._searcher.search(problem)
+        self.decisions.append(_fingerprint(result))
+        return result
+
+
+def _replay(engine: str, workers: int = 1) -> tuple[list[tuple], object]:
+    workload = generate_month("2003-07", seed=11, scale=0.02)
+    policy = SearchSchedulingPolicy(
+        algorithm="dds",
+        heuristic="lxf",
+        node_limit=300,
+        engine=engine,
+        search_workers=workers,
+    )
+    recorder = _RecordingSearcher(policy.searcher)
+    policy.searcher = recorder
+    result = Simulation(
+        workload.fresh_jobs(), policy, workload.cluster, window=workload.window
+    ).run()
+    return recorder.decisions, result
+
+
+def test_parallel_bit_identical_on_full_workload_replay():
+    """Every decision of a month-long replay is bit-identical between the
+    parallel engine (through the real persistent pool) and the serial
+    fast engine, and so is everything downstream."""
+    fast_decisions, fast_run = _replay("fast")
+    par_decisions, par_run = _replay("parallel", workers=2)
+    assert len(fast_decisions) == len(par_decisions) > 0
+    for i, (f, p) in enumerate(zip(fast_decisions, par_decisions)):
+        assert f == p, f"decision {i} diverged between engines"
+    assert fast_run.decision_count == par_run.decision_count
+    assert fast_run.utilization == par_run.utilization
+    assert fast_run.avg_queue_length == par_run.avg_queue_length
+    assert [
+        (j.job_id, j.start_time, j.end_time) for j in fast_run.jobs
+    ] == [(j.job_id, j.start_time, j.end_time) for j in par_run.jobs]
+
+
+def test_parallel_engine_clean_under_sanitizer():
+    """A sanitized replay: the sanitize flag must reach the workers (it is
+    shipped in the batch payload — a leader-side override does not
+    propagate into an already-forked pool)."""
+    with sanitized(True):
+        workload = generate_month("2003-07", seed=11, scale=0.01)
+        policy = SearchSchedulingPolicy(
+            algorithm="dds",
+            heuristic="lxf",
+            node_limit=200,
+            engine="parallel",
+            search_workers=2,
+        )
+        Simulation(
+            workload.fresh_jobs(), policy, workload.cluster, window=workload.window
+        ).run()

@@ -1,0 +1,98 @@
+"""Tests of the persistent worker pool (``repro.util.workerpool``).
+
+The pool's contract toward the parallel search engine: lazily spawned,
+persistent across uses, registry-deduplicated per worker count, carries a
+pre-fork shared blackboard, and degrades (never raises) into "unavailable"
+when broken — the engine then runs shards inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util import workerpool
+from repro.util.workerpool import (
+    BLACKBOARD_SLOTS,
+    WorkerPool,
+    available_cores,
+    get_pool,
+    shutdown_all,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _read_blackboard_slot(index: int) -> float:
+    board = workerpool.worker_blackboard()
+    assert board is not None, "initializer did not install the blackboard"
+    return float(board[index])
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Each test starts and ends with an empty pool registry."""
+    shutdown_all()
+    yield
+    shutdown_all()
+
+
+def test_available_cores_positive():
+    assert available_cores() >= 1
+
+
+def test_pool_rejects_bad_size():
+    with pytest.raises(ValueError):
+        WorkerPool(0)
+
+
+def test_pool_lifecycle_and_submit():
+    pool = WorkerPool(2)
+    assert not pool.started
+    assert pool.ensure_started()
+    assert pool.started
+    assert pool.blackboard is not None
+    assert len(pool.blackboard) == BLACKBOARD_SLOTS
+    assert pool.submit(_square, 7).result(timeout=60) == 49
+    # ensure_started is idempotent: same executor, no respawn.
+    assert pool.ensure_started()
+    pool.shutdown()
+    assert not pool.started
+    # A plain shutdown leaves the pool reusable.
+    assert pool.ensure_started(warm=False)
+    assert pool.submit(_square, 3).result(timeout=60) == 9
+    pool.shutdown()
+
+
+def test_workers_inherit_blackboard():
+    """The shared array is created before the fork and visible in every
+    worker via the initializer."""
+    pool = WorkerPool(2)
+    assert pool.ensure_started()
+    with pool.blackboard.get_lock():
+        pool.blackboard[3] = 2.5
+    assert pool.submit(_read_blackboard_slot, 3).result(timeout=60) == 2.5
+    pool.shutdown()
+
+
+def test_mark_broken_is_terminal():
+    pool = WorkerPool(1)
+    assert pool.ensure_started(warm=False)
+    pool.mark_broken()
+    assert not pool.started
+    assert not pool.ensure_started()
+    with pytest.raises(RuntimeError):
+        pool.submit(_square, 1)
+
+
+def test_registry_deduplicates_by_worker_count():
+    a = get_pool(2)
+    b = get_pool(2)
+    c = get_pool(3)
+    assert a is b
+    assert a is not c
+    assert a.workers == 2 and c.workers == 3
+    shutdown_all()
+    # After shutdown_all the registry is empty: a fresh object is handed out.
+    assert get_pool(2) is not a
