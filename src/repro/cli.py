@@ -26,9 +26,12 @@ Policy specs accepted by ``run --policy``:
   bounds ``dynB`` or ``fixB<hours>h``) — search-based policies.
 
 The grid-running commands (``figure``, ``claims``, ``reproduce``) accept
-``--workers N`` (0 = all cores) to fan simulations across a process pool
-and ``--cache-dir``/``--no-cache`` to control the on-disk run cache; see
-:mod:`repro.experiments.parallel`.
+``--workers N`` (0 = all cores) to fan simulations across a process pool,
+``--cache-dir``/``--no-cache`` to control the on-disk run cache, and
+``--retries K`` to bound the per-cell retry budget; see
+:mod:`repro.experiments.parallel`.  ``run`` additionally supports
+``--checkpoint-dir``/``--checkpoint-every``/``--resume`` for
+interrupt-safe long simulations (:mod:`repro.simulator.checkpoint`).
 """
 
 from __future__ import annotations
@@ -47,7 +50,7 @@ from repro.backfill.variants import (
 from repro.core.scheduler import make_policy
 from repro.experiments.config import current_scale
 from repro.experiments import figures as fig_mod
-from repro.experiments.runner import simulate
+from repro.experiments.runner import PolicyRun, resume_run, simulate
 from repro.metrics.excessive import excessive_wait_stats
 from repro.simulator.policy import SchedulingPolicy
 from repro.util.timeunits import HOUR
@@ -160,6 +163,14 @@ def _add_execution_args(sub: argparse.ArgumentParser) -> None:
         action="store_true",
         help="never read or write the run cache for this invocation",
     )
+    sub.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="K",
+        help="re-attempt each failed grid cell up to K times before "
+        "reporting it (default: REPRO_RUN_RETRIES or 1)",
+    )
 
 
 def _configure_execution(args: argparse.Namespace) -> None:
@@ -171,7 +182,12 @@ def _configure_execution(args: argparse.Namespace) -> None:
     from repro.experiments import parallel
     from repro.experiments.cache import RunCache
 
-    if args.workers is None and args.cache_dir is None and not args.no_cache:
+    if (
+        args.workers is None
+        and args.cache_dir is None
+        and not args.no_cache
+        and args.retries is None
+    ):
         return
     base = parallel.default_execution()
     workers = base.max_workers if args.workers is None else args.workers
@@ -181,7 +197,8 @@ def _configure_execution(args: argparse.Namespace) -> None:
         cache = RunCache(args.cache_dir)
     else:
         cache = base.cache
-    parallel.configure(max_workers=workers, cache=cache)
+    retries = base.retries if args.retries is None else args.retries
+    parallel.configure(max_workers=workers, cache=cache, retries=retries)
 
 
 def _load_workload(args: argparse.Namespace):
@@ -215,16 +232,8 @@ def cmd_months(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    workload = _load_workload(args)
-    policy = parse_policy(
-        args.policy,
-        args.node_limit,
-        not args.requested_runtimes,
-        search_workers=args.search_workers,
-    )
-    run = simulate(workload, policy)
-    print(f"workload : {workload.name} ({run.metrics.n_jobs} in-window jobs)")
+def _print_run(run: PolicyRun, excess_threshold: float | None) -> None:
+    print(f"workload : {run.workload_name} ({run.metrics.n_jobs} in-window jobs)")
     print(f"policy   : {run.policy_name}")
     print(f"load     : {run.offered_load:.2f} offered, {run.utilization:.2f} achieved")
     print(f"avg wait : {run.metrics.avg_wait_hours:.2f} h")
@@ -232,12 +241,42 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"p98 wait : {run.metrics.p98_wait_hours:.2f} h")
     print(f"slowdown : {run.metrics.avg_bounded_slowdown:.2f} avg bounded")
     print(f"queue    : {run.avg_queue_length:.2f} jobs (time average)")
-    if args.excess_threshold is not None:
-        stats = excessive_wait_stats(run.jobs, args.excess_threshold * HOUR)
+    if excess_threshold is not None:
+        stats = excessive_wait_stats(run.jobs, excess_threshold * HOUR)
         print(
             f"excess   : {stats.total_hours:.2f} h total over "
-            f"{stats.count} jobs (t={args.excess_threshold:g} h)"
+            f"{stats.count} jobs (t={excess_threshold:g} h)"
         )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.resume:
+        try:
+            run = resume_run(args.resume)
+        except (FileNotFoundError, OSError) as exc:
+            raise CliError(str(exc)) from None
+        _print_run(run, args.excess_threshold)
+        return 0
+    workload = _load_workload(args)
+    policy = parse_policy(
+        args.policy,
+        args.node_limit,
+        not args.requested_runtimes,
+        search_workers=args.search_workers,
+    )
+    checkpoint = None
+    if args.checkpoint_dir:
+        from repro.simulator.checkpoint import CheckpointConfig
+
+        try:
+            checkpoint = CheckpointConfig(
+                directory=args.checkpoint_dir,
+                every_decisions=args.checkpoint_every,
+            )
+        except ValueError as exc:
+            raise CliError(str(exc)) from None
+    run = simulate(workload, policy, checkpoint=checkpoint)
+    _print_run(run, args.excess_threshold)
     return 0
 
 
@@ -387,6 +426,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="fan each decision's search across N worker processes "
         "(engine='parallel'; results are invariant to N)",
+    )
+    run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="snapshot the simulation into DIR so an interrupted run can "
+        "be finished with --resume DIR",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=256,
+        metavar="N",
+        help="decisions between snapshots (default 256)",
+    )
+    run.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="resume the newest usable checkpoint under DIR instead of "
+        "starting a run (other workload/policy flags are ignored)",
     )
     run.set_defaults(func=cmd_run)
 

@@ -31,10 +31,18 @@ workers additionally exchange incumbents through the pool's shared-memory
 blackboard — faster pruning, but node accounting then depends on worker
 timing (documented as budget-nondeterministic; schedules remain valid).
 
-Robustness: if the problem cannot be pickled (criteria evaluators may
-hold lambdas), the pool is unavailable, or a worker transport fails, the
-same shard tasks run inline in the leader — by construction the results
-are identical, only slower.
+Robustness (see ``docs/robustness.md``): shard tasks are *pure* — they
+depend only on the pickled problem, the incumbent, and the static plan —
+so any failed dispatch can simply be recomputed.  The leader supervises
+the pool: a worker crash (``BrokenProcessPool``), a per-task deadline
+overrun, an injected transport fault, or a pickling edge case marks the
+pool broken, and the whole decision's batch set is retried after a
+bounded pool respawn with deterministic backoff
+(:meth:`repro.util.workerpool.WorkerPool.respawn`).  Once the respawn
+budget is spent — or when the problem cannot be pickled at all (criteria
+evaluators may hold lambdas) — the same shard tasks run inline in the
+leader.  By construction every recovery path yields results
+bit-identical to the fault-free run, only slower.
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from __future__ import annotations
 import itertools
 import pickle
 import sys
+import time
 from typing import Any, Callable, Sequence
 
 from repro.core.objective import ScheduleScore
@@ -59,7 +68,7 @@ from repro.core.search import (
     shard_grain,
 )
 from repro.core.search_tree import max_discrepancies
-from repro.util import workerpool
+from repro.util import faults, workerpool
 from repro.util.sanitize import sanitize_enabled, sanitized
 
 #: Generation stamps for the incumbent blackboard: pools persist across
@@ -379,20 +388,64 @@ class _ParallelSearchRun:
     def _execute(self, plan: ShardPlan, incumbent: Any) -> list[ShardOutcome]:
         if not plan.tasks:
             return []
-        pool: workerpool.WorkerPool | None = None
-        blob: bytes | None = None
         if self.search_workers > 1:
-            candidate = workerpool.get_pool(self.search_workers)
-            if candidate.ensure_started(warm=False):
-                try:
-                    blob = pickle.dumps(
-                        (self.problem, incumbent), pickle.HIGHEST_PROTOCOL
-                    )
-                    pool = candidate
-                except Exception:
-                    blob = None  # evaluator closures: run inline instead
-        if pool is None or blob is None:
-            return self._execute_inline(plan, incumbent)
+            try:
+                blob = pickle.dumps(
+                    (self.problem, incumbent), pickle.HIGHEST_PROTOCOL
+                )
+            except Exception:
+                blob = None  # evaluator closures: run inline instead
+            if blob is not None:
+                outcomes = self._execute_supervised(plan, incumbent, blob)
+                if outcomes is not None:
+                    return outcomes
+        return self._execute_inline(plan, incumbent)
+
+    def _execute_supervised(
+        self, plan: ShardPlan, incumbent: Any, blob: bytes
+    ) -> list[ShardOutcome] | None:
+        """Dispatch to the pool under supervision; ``None`` = run inline.
+
+        Shard tasks are pure, so every failure mode — a worker crash
+        breaking the executor, a per-task deadline overrun, an injected
+        transport fault — is recovered by respawning the pool and
+        recomputing the *entire* batch set, which is bit-identical to the
+        first attempt.  Respawns draw on the pool's bounded budget; when
+        it runs dry the decision (and all subsequent ones) falls back to
+        the inline path.
+        """
+        pool = workerpool.get_pool(self.search_workers)
+        deadline = workerpool.task_deadline()
+        attempt = 0
+        while True:
+            if not pool.ensure_started(warm=False):
+                if not pool.respawn():
+                    return None  # budget spent: permanent inline fallback
+                time.sleep(workerpool.retry_backoff(attempt))
+                attempt += 1
+                continue
+            if faults.should_fire("worker.crash"):
+                # Chaos path: kill a live worker for real, then dispatch
+                # into the now-doomed pool — the recovery below must save
+                # the decision.
+                pool.crash_worker()
+            try:
+                return self._dispatch(pool, plan, incumbent, blob, deadline)
+            except Exception:
+                # Transport failure (dead workers, deadline overrun,
+                # injected fault): the pool is done for, but the decision
+                # is not — mark it broken and go round the retry loop.
+                pool.mark_broken()
+
+    def _dispatch(
+        self,
+        pool: workerpool.WorkerPool,
+        plan: ShardPlan,
+        incumbent: Any,
+        blob: bytes,
+        deadline: float | None,
+    ) -> list[ShardOutcome]:
+        """One dispatch attempt: submit every batch, collect every result."""
         share = (
             self.share_incumbent
             and self.prune
@@ -409,34 +462,29 @@ class _ParallelSearchRun:
                 board[2] = incumbent.total_excessive_wait
                 board[3] = incumbent.total_slowdown
         sanitize = sanitize_enabled()
-        try:
-            futures = [
-                pool.submit(
-                    _run_shard_batch,
-                    blob,
-                    self.algorithm,
-                    self.prune,
-                    self.record_anytime,
-                    sanitize,
-                    generation,
-                    share,
-                    tuple(
-                        (t.shard.rank, t.shard.iteration, t.shard.path,
-                         t.shard.counted, t.budget)
-                        for t in batch
-                    ),
-                )
-                for batch in _balance(plan.tasks, self.search_workers)
-            ]
-            outcomes: list[ShardOutcome] = []
-            for future in futures:
-                outcomes.extend(future.result())
-            return outcomes
-        except Exception:
-            # Transport failure (dead workers, pickling edge case): the
-            # pool is done for, but the decision is not — rerun inline.
-            pool.mark_broken()
-            return self._execute_inline(plan, incumbent)
+        futures = [
+            pool.submit(
+                _run_shard_batch,
+                blob,
+                self.algorithm,
+                self.prune,
+                self.record_anytime,
+                sanitize,
+                generation,
+                share,
+                tuple(
+                    (t.shard.rank, t.shard.iteration, t.shard.path,
+                     t.shard.counted, t.budget)
+                    for t in batch
+                ),
+            )
+            for batch in _balance(plan.tasks, self.search_workers)
+        ]
+        outcomes: list[ShardOutcome] = []
+        for future in futures:
+            faults.fire("worker.result")
+            outcomes.extend(future.result(timeout=deadline))
+        return outcomes
 
     def _execute_inline(self, plan: ShardPlan, incumbent: Any) -> list[ShardOutcome]:
         tasks = [

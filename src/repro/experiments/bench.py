@@ -31,7 +31,6 @@ root so future perf PRs have a committed baseline to beat; the
 
 from __future__ import annotations
 
-import json
 import platform
 import sys
 import time
@@ -43,6 +42,7 @@ from repro.core.objective import DynamicBound, ObjectiveConfig
 from repro.core.profile import AvailabilityProfile
 from repro.core.search import DiscrepancySearch, SearchProblem, SearchResult
 from repro.simulator.job import Job
+from repro.util.atomio import atomic_write_json
 from repro.util.rng import RngStream
 from repro.util.timeunits import HOUR
 
@@ -267,7 +267,9 @@ def write_bench(
         progress=progress,
     )
     out = Path(path)
-    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    # Atomic: a crash mid-write must not leave a torn BENCH_search.json
+    # that downstream tooling would try to parse.
+    atomic_write_json(out, report, indent=2, sort_keys=True)
     return report
 
 

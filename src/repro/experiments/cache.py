@@ -16,22 +16,41 @@ whenever the *simulation semantics* change (engine event ordering, search
 node accounting, objective definitions, ...), since those are the only
 inputs not captured in the spec itself.  Deleting the cache directory
 (``.repro-cache/`` by default) is always safe.
+
+Crash safety (see ``docs/robustness.md``): entries are written atomically
+(tmp + fsync + rename via :mod:`repro.util.atomio`) and carry a SHA-256
+checksum over their canonical payload.  A read that finds corruption —
+torn content from a foreign writer, disk rot, an injected ``cache.read``/
+``cache.write`` fault — never crashes and never returns silently wrong
+data: the entry is *quarantined* (moved under ``quarantine/`` with a
+reason recorded in ``quarantine/ledger.jsonl``) and the read reports a
+miss, so the cell is simply recomputed.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import logging
 from pathlib import Path
 
 from repro.experiments.runner import PolicyRun
 from repro.metrics.measures import JobMetrics
 from repro.simulator.job import Job
+from repro.util import faults
+from repro.util.atomio import atomic_write_text
+
+log = logging.getLogger("repro.cache")
 
 #: Bump when simulation semantics change in a way specs cannot capture.
-CACHE_VERSION = 1
+#: (2: entries gained the checksummed record envelope.)
+CACHE_VERSION = 2
 
 #: Default cache directory, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Subdirectory of the cache root holding quarantined corrupt entries.
+QUARANTINE_DIR = "quarantine"
 
 
 def run_to_payload(run: PolicyRun) -> dict:
@@ -100,43 +119,129 @@ def run_from_payload(payload: dict) -> PolicyRun:
     )
 
 
-class RunCache:
-    """JSON store keyed by content hash, sharded one directory per key prefix.
+def _canonical(payload: dict) -> str:
+    """The canonical serialization the checksum covers.
 
-    Safe under concurrent writers: entries are written to a temporary file
-    and atomically renamed, and a corrupt or truncated entry reads as a
-    miss rather than an error.
+    ``json.dumps(json.loads(text))`` with sorted keys is a fixed point for
+    JSON-safe payloads (repr-based float formatting round-trips exactly),
+    so the digest computed at write time is reproducible at read time.
+    """
+    return json.dumps(payload, sort_keys=True)
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class CorruptEntry(ValueError):
+    """Internal marker: a cache entry failed structural/checksum validation."""
+
+
+class RunCache:
+    """Checksummed JSON store keyed by content hash, sharded by key prefix.
+
+    Safe under concurrent writers *and* crashes: entries are written
+    atomically (tmp + fsync + rename), validated by checksum on read, and
+    a corrupt or truncated entry is quarantined and reads as a miss — it
+    can neither crash the caller nor serve a silently wrong hit.
     """
 
     def __init__(self, root: str | Path | None = None) -> None:
         self.root = Path(root) if root is not None else Path(DEFAULT_CACHE_DIR)
+        #: Entries quarantined by this cache object (diagnostics/tests).
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> PolicyRun | None:
-        """The cached run for ``key``, or ``None`` on miss/corruption."""
+        """The cached run for ``key``, or ``None`` on miss/corruption.
+
+        Corruption — unparseable content, a structurally wrong record, a
+        checksum mismatch, or an injected torn read — quarantines the
+        entry with a logged reason and reports a miss.
+        """
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-            return run_from_payload(payload["run"])
-        except (OSError, ValueError, KeyError, TypeError):
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None  # plain miss (or unreadable entry: recompute)
+        if faults.should_fire("cache.read"):
+            self._quarantine(path, key, "injected torn read (fault plan)")
             return None
+        try:
+            return self._validate(key, text)
+        except CorruptEntry as exc:
+            self._quarantine(path, key, str(exc))
+            return None
+
+    def _validate(self, key: str, text: str) -> PolicyRun | None:
+        """Parse + checksum an entry; raises :class:`CorruptEntry`."""
+        try:
+            record = json.loads(text)
+        except ValueError as exc:
+            raise CorruptEntry(f"unparseable JSON ({exc})") from None
+        if not isinstance(record, dict) or "sha256" not in record or "payload" not in record:
+            raise CorruptEntry("missing checksum envelope")
+        payload = record["payload"]
+        if not isinstance(payload, dict):
+            raise CorruptEntry("payload is not an object")
+        if record["sha256"] != _digest(_canonical(payload)):
+            raise CorruptEntry("checksum mismatch")
+        # A checksum-valid entry of another format version is a miss, not
+        # corruption: it was written intact by different code.
+        if payload.get("version") != CACHE_VERSION:
+            return None
+        try:
+            return run_from_payload(payload["run"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise CorruptEntry(f"malformed run payload ({exc})") from None
 
     def put(self, key: str, run: PolicyRun, spec_note: dict | None = None) -> Path:
         """Persist ``run`` under ``key``; returns the entry's path.
 
         ``spec_note`` is a human-readable description of the spec stored
-        alongside the run for debuggability; it is never read back.
+        alongside the run for debuggability; it is never read back.  The
+        write is atomic (tmp + fsync + rename) and the record carries a
+        checksum over its canonical payload.  An injected ``cache.write``
+        fault persists deliberately corrupted bytes instead — the
+        simulated disk rot a later :meth:`get` must catch.
         """
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"version": CACHE_VERSION, "spec": spec_note, "run": run_to_payload(run)}
-        tmp = path.with_suffix(f".tmp{id(run)}")
-        tmp.write_text(json.dumps(payload), encoding="utf-8")
-        tmp.replace(path)
+        body = _canonical(payload)
+        text = json.dumps({"sha256": _digest(body), "payload": payload})
+        if faults.should_fire("cache.write"):
+            text = text[: max(1, len(text) // 2)]  # torn/corrupt content
+        atomic_write_text(path, text)
         return path
+
+    # ------------------------------------------------------------------
+    def _quarantine(self, path: Path, key: str, reason: str) -> None:
+        """Move a corrupt entry aside and record why; never raises."""
+        qdir = self.root / QUARANTINE_DIR
+        dest = qdir / f"{path.name}.quarantined"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            n = 0
+            while dest.exists():
+                n += 1
+                dest = qdir / f"{path.name}.{n}.quarantined"
+            path.replace(dest)
+            moved = str(dest.name)
+        except OSError:
+            path.unlink(missing_ok=True)
+            moved = None
+        self.quarantined += 1
+        log.warning("quarantined cache entry %s: %s", key[:12], reason)
+        try:
+            with open(qdir / "ledger.jsonl", "a", encoding="utf-8") as ledger:
+                ledger.write(
+                    json.dumps({"key": key, "file": moved, "reason": reason}) + "\n"
+                )
+        except OSError:  # pragma: no cover - diagnostics must never crash
+            pass
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

@@ -16,6 +16,7 @@ from repro.experiments import figures as fig_mod
 from repro.experiments import parallel
 from repro.experiments.claims import build_context, evaluate_claims, render_claims
 from repro.experiments.config import ExperimentScale, current_scale
+from repro.util.atomio import atomic_write_text
 
 #: Every reproducible artifact, in report order.
 ARTIFACTS: tuple[tuple[str, Callable], ...] = (
@@ -74,7 +75,9 @@ def reproduce_all(
         started = time.perf_counter()
         figure = fn(exp)
         text = figure.render()
-        (out / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        # Atomic so an interrupted reproduce never leaves a torn artifact
+        # that a later --only rerun would mistake for a finished one.
+        atomic_write_text(out / f"{name}.txt", text + "\n")
         elapsed = time.perf_counter() - started
         say(f"{name}: {figure.title} ({elapsed:.1f} s)")
         index_lines += [f"## {figure.figure}: {figure.title}", "", "```"]
@@ -85,7 +88,7 @@ def reproduce_all(
         context = build_context(exp)
         results = evaluate_claims(context)
         text = render_claims(results)
-        (out / "claims.txt").write_text(text + "\n", encoding="utf-8")
+        atomic_write_text(out / "claims.txt", text + "\n")
         say(f"claims: {sum(r.passed for r in results)}/{len(results)} "
             f"({time.perf_counter() - started:.1f} s)")
         index_lines += ["## Reproduction certificate", "", "```", text, "```", ""]
@@ -95,5 +98,5 @@ def reproduce_all(
         index_lines += ["## Execution", "", stats.summary(), ""]
 
     report = out / "REPORT.md"
-    report.write_text("\n".join(index_lines), encoding="utf-8")
+    atomic_write_text(report, "\n".join(index_lines))
     return report

@@ -1,0 +1,168 @@
+"""Checkpoint/resume for long simulations.
+
+A checkpoint is one pickle blob holding the :class:`Simulation` object,
+its in-flight :class:`LoopState`, and the active per-run RNG stream —
+everything the event loop reads.  Pickling them *together* is what makes
+resume bit-identical: the event queue, the cluster's running set, and the
+completed list all reference the same :class:`~repro.simulator.job.Job`
+objects, and a single ``pickle.dumps`` preserves that aliasing exactly.
+
+The on-disk format is ``MAGIC + sha256(blob) + "\\n" + blob``, written
+atomically (:mod:`repro.util.atomio`), so a crash mid-write can never
+leave a half-checkpoint that resumes into a subtly wrong state: a torn or
+rotted file fails the checksum, raises :class:`CorruptCheckpoint`, and
+:func:`resume` falls back to the next-newest snapshot.  ``keep`` controls
+rotation — the previous snapshot is only deleted after the new one is
+durably on disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.util import rng
+from repro.util.atomio import atomic_write_bytes
+
+if TYPE_CHECKING:  # engine imports this module; break the cycle for types
+    from repro.simulator.engine import LoopState, Simulation, SimulationResult
+
+log = logging.getLogger("repro.checkpoint")
+
+#: Format tag; bump the suffix when the blob layout changes.
+MAGIC = b"REPRO-CKPT-1\n"
+
+#: Filename pattern of snapshots inside a checkpoint directory.
+CHECKPOINT_GLOB = "ckpt-*.pkl"
+
+
+@dataclass
+class CheckpointConfig:
+    """Where and how often a :class:`Simulation` snapshots itself.
+
+    ``meta`` is an arbitrary JSON-safe dict stored inside every snapshot;
+    the experiment runner uses it to rebuild the :class:`PolicyRun`
+    envelope (workload name, offered load) after a resume.
+    """
+
+    directory: str | Path
+    every_decisions: int = 256
+    keep: int = 2
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.every_decisions < 1:
+            raise ValueError(
+                f"every_decisions must be >= 1, got {self.every_decisions}"
+            )
+        if self.keep < 1:
+            raise ValueError(f"keep must be >= 1, got {self.keep}")
+
+
+@dataclass
+class CheckpointState:
+    """A restored snapshot, ready to hand to :meth:`Simulation.resume_from`."""
+
+    simulation: "Simulation"
+    state: "LoopState"
+    run_stream: rng.RngStream | None
+    meta: dict[str, Any]
+
+    @property
+    def decision_count(self) -> int:
+        return self.state.decision_count
+
+
+class CorruptCheckpoint(ValueError):
+    """A checkpoint file failed magic/checksum/structure validation."""
+
+
+def checkpoint_path(directory: str | Path, decision_count: int) -> Path:
+    """Snapshot filename for a given decision count (sorts chronologically)."""
+    return Path(directory) / f"ckpt-{decision_count:012d}.pkl"
+
+
+def save_checkpoint(sim: "Simulation", state: "LoopState") -> Path:
+    """Snapshot ``sim`` + ``state`` into the configured directory."""
+    config = sim.checkpoint
+    if config is None:
+        raise ValueError("simulation has no CheckpointConfig")
+    record = {
+        "simulation": sim,
+        "state": state,
+        "run_stream": rng.run_stream(),
+        "meta": dict(config.meta),
+    }
+    blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(blob).hexdigest().encode("ascii")
+    path = checkpoint_path(config.directory, state.decision_count)
+    atomic_write_bytes(path, MAGIC + digest + b"\n" + blob)
+    _rotate(path.parent, config.keep)
+    return path
+
+
+def _rotate(directory: Path, keep: int) -> None:
+    """Drop all but the ``keep`` newest snapshots (newest written last)."""
+    snapshots = sorted(directory.glob(CHECKPOINT_GLOB))
+    for old in snapshots[:-keep]:
+        old.unlink(missing_ok=True)
+
+
+def load_checkpoint(path: str | Path) -> CheckpointState:
+    """Validate and unpickle one snapshot; raises :class:`CorruptCheckpoint`."""
+    raw = Path(path).read_bytes()
+    if not raw.startswith(MAGIC):
+        raise CorruptCheckpoint(f"{path}: bad magic (not a repro checkpoint)")
+    header, sep, blob = raw[len(MAGIC) :].partition(b"\n")
+    if not sep or len(header) != 64:
+        raise CorruptCheckpoint(f"{path}: malformed checksum header")
+    if hashlib.sha256(blob).hexdigest().encode("ascii") != header:
+        raise CorruptCheckpoint(f"{path}: checksum mismatch (torn write?)")
+    try:
+        record = pickle.loads(blob)
+    except Exception as exc:
+        raise CorruptCheckpoint(f"{path}: unpicklable blob ({exc})") from None
+    if not isinstance(record, dict) or "simulation" not in record or "state" not in record:
+        raise CorruptCheckpoint(f"{path}: blob is not a checkpoint record")
+    return CheckpointState(
+        simulation=record["simulation"],
+        state=record["state"],
+        run_stream=record.get("run_stream"),
+        meta=dict(record.get("meta") or {}),
+    )
+
+
+def latest_checkpoint(directory: str | Path) -> CheckpointState | None:
+    """The newest *loadable* snapshot under ``directory``, if any.
+
+    Corrupt or torn snapshots are skipped with a logged warning — a crash
+    during the final write must not strand the older good snapshot.
+    """
+    for path in sorted(Path(directory).glob(CHECKPOINT_GLOB), reverse=True):
+        try:
+            return load_checkpoint(path)
+        except (OSError, CorruptCheckpoint) as exc:
+            log.warning("skipping unusable checkpoint: %s", exc)
+    return None
+
+
+def resume(directory: str | Path) -> "SimulationResult":
+    """Resume the newest usable snapshot under ``directory`` to completion.
+
+    The snapshot's per-run RNG stream is reinstalled for the duration of
+    the resumed run (and the caller's stream restored afterwards), so any
+    stochastic policy component continues its sequence exactly where the
+    interrupted run left off.
+    """
+    found = latest_checkpoint(directory)
+    if found is None:
+        raise FileNotFoundError(f"no usable checkpoint under {directory}")
+    previous = rng.set_run_stream(found.run_stream)
+    try:
+        return found.simulation.resume_from(found.state)
+    finally:
+        rng.set_run_stream(previous)

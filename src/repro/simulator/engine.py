@@ -8,6 +8,13 @@ consulted once and the jobs it returns are started.
 The engine also accumulates the time-integrals the evaluation needs (average
 queue length, utilization) restricted to a measurement window, which is how
 the paper excludes the warm-up/cool-down weeks from each month's statistics.
+
+Long runs can be made interrupt-safe: give :class:`Simulation` a
+:class:`~repro.simulator.checkpoint.CheckpointConfig` and the whole loop
+state (event queue, cluster, queue, accumulators, policy, RNG stream) is
+snapshotted every N decisions; :func:`repro.simulator.checkpoint.resume`
+continues an interrupted run to a bit-identical finish (see
+``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -17,10 +24,12 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.metrics.timeseries import StateTimeSeries
+from repro.simulator.checkpoint import CheckpointConfig, save_checkpoint
 from repro.simulator.cluster import Cluster, ClusterConfig
 from repro.simulator.events import Event, EventKind, EventQueue
 from repro.simulator.job import Job, JobState
 from repro.simulator.policy import RunningJob, SchedulingPolicy
+from repro.util import faults
 from repro.util.sanitize import require, sanitize_enabled
 
 
@@ -52,6 +61,28 @@ class SimulationResult:
         return [j for j in self.jobs if lo <= j.submit_time < hi]
 
 
+@dataclass
+class LoopState:
+    """Everything the event loop mutates, gathered for checkpointing.
+
+    A :class:`Simulation` is immutable once constructed except for the
+    policy (which pickles alongside the simulation object); the loop's own
+    progress lives here so one snapshot of ``(simulation, state)`` is the
+    complete resume point.  ``saved_at`` records the decision count of the
+    last snapshot so a resumed run does not immediately re-save.
+    """
+
+    events: EventQueue
+    waiting: list[Job]
+    completed: list[Job]
+    timeseries: StateTimeSeries | None
+    decision_count: int = 0
+    queue_integral: float = 0.0
+    busy_integral: float = 0.0
+    prev_time: float = 0.0
+    saved_at: int = -1
+
+
 class Simulation:
     """One simulation run.
 
@@ -66,6 +97,10 @@ class Simulation:
     window:
         ``(lo, hi)`` measurement window for time-averaged statistics.
         Defaults to the full span of the workload.
+    checkpoint:
+        Optional :class:`~repro.simulator.checkpoint.CheckpointConfig`;
+        when set, the loop snapshots itself every ``every_decisions``
+        scheduling decisions so an interrupted run can be resumed.
     """
 
     def __init__(
@@ -75,6 +110,7 @@ class Simulation:
         cluster_config: ClusterConfig | None = None,
         window: tuple[float, float] | None = None,
         record_timeseries: bool = False,
+        checkpoint: CheckpointConfig | None = None,
     ) -> None:
         self.jobs = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
         if not self.jobs:
@@ -94,52 +130,82 @@ class Simulation:
             window = (self.jobs[0].submit_time, self.jobs[-1].submit_time + 1.0)
         self.window = window
         self.record_timeseries = record_timeseries
+        self.checkpoint = checkpoint
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Run to completion of every job and return the results."""
-        wall_start = _wallclock.perf_counter()
         self.policy.reset()
         self.policy.runtime_source.reset()
+        return self._execute(self._fresh_state())
 
+    def resume_from(self, state: LoopState) -> SimulationResult:
+        """Continue an interrupted run from a restored :class:`LoopState`.
+
+        Unlike :meth:`run` this does **not** reset the policy or the
+        runtime source — their mid-run state travelled inside the
+        checkpoint and resetting it would diverge from the uninterrupted
+        run.  Normally reached via
+        :func:`repro.simulator.checkpoint.resume`.
+        """
+        return self._execute(state)
+
+    def _fresh_state(self) -> LoopState:
+        events = EventQueue()
+        for job in self.jobs:
+            job.reset_lifecycle()
+            events.push(job.submit_time, EventKind.ARRIVAL, job)
+        return LoopState(
+            events=events,
+            waiting=[],
+            completed=[],
+            timeseries=StateTimeSeries() if self.record_timeseries else None,
+            prev_time=events.peek_time() or 0.0,
+        )
+
+    def _execute(self, state: LoopState) -> SimulationResult:
+        wall_start = _wallclock.perf_counter()
         # Lifecycle hooks bracket the whole event loop: policies that hold
         # process-wide resources (the parallel search's persistent worker
         # pool) acquire them once per simulation, not per decision.
         self.policy.on_simulation_begin()
         try:
-            return self._run_loop(wall_start)
+            return self._run_loop(wall_start, state)
         finally:
             self.policy.on_simulation_end()
 
-    def _run_loop(self, wall_start: float) -> SimulationResult:
+    def _run_loop(self, wall_start: float, st: LoopState) -> SimulationResult:
         sanitize = sanitize_enabled()
-        events = EventQueue()
-        for job in self.jobs:
-            job.reset_lifecycle()
-            events.push(job.submit_time, EventKind.ARRIVAL, job)
-
-        waiting: list[Job] = []
-        completed: list[Job] = []
-        timeseries = StateTimeSeries() if self.record_timeseries else None
-        decision_count = 0
-        queue_integral = 0.0
-        busy_integral = 0.0
-        prev_time = events.peek_time() or 0.0
+        ckpt = self.checkpoint
         win_lo, win_hi = self.window
 
-        while events:
-            batch = events.pop_simultaneous()
+        while st.events:
+            # Snapshot *before* consuming the next batch, so an injected
+            # or real crash right after loses at most the work since the
+            # previous snapshot and the resumed loop re-enters here with
+            # the queue intact.
+            if (
+                ckpt is not None
+                and st.decision_count > 0
+                and st.decision_count % ckpt.every_decisions == 0
+                and st.decision_count != st.saved_at
+            ):
+                save_checkpoint(self, st)
+                st.saved_at = st.decision_count
+            faults.fire("engine.step")
+
+            batch = st.events.pop_simultaneous()
             now = batch[0].time
             if sanitize:
-                self._sanitize_batch(batch, now, prev_time)
+                self._sanitize_batch(batch, now, st.prev_time)
 
             # Accumulate time-weighted statistics over [prev_time, now),
             # clipped to the measurement window.
-            overlap = min(now, win_hi) - max(prev_time, win_lo)
+            overlap = min(now, win_hi) - max(st.prev_time, win_lo)
             if overlap > 0:
-                queue_integral += len(waiting) * overlap
-                busy_integral += self.cluster.used_nodes * overlap
-            prev_time = now
+                st.queue_integral += len(st.waiting) * overlap
+                st.busy_integral += self.cluster.used_nodes * overlap
+            st.prev_time = now
 
             # State update: completions release nodes before arrivals are
             # queued, mirroring the deterministic tie-break of the queue.
@@ -148,45 +214,47 @@ class Simulation:
                 job = event.payload
                 if event.kind is EventKind.FINISH:
                     self.cluster.finish(job, now)
-                    completed.append(job)
+                    st.completed.append(job)
                     # Learning runtime sources (predictors) observe every
                     # completion before the policy's own hook runs.
                     self.policy.runtime_source.observe_completion(job, now)
                     self.policy.on_finish(job, now)
                 else:
                     job.mark_waiting()
-                    waiting.append(job)
+                    st.waiting.append(job)
 
             # One scheduling decision per distinct event time.
-            decision_count += 1
+            st.decision_count += 1
             if sanitize:
-                self._sanitize_queue(waiting, now)
+                self._sanitize_queue(st.waiting, now)
             running_view = self._running_view(now)
-            to_start = self.policy.decide(now, tuple(waiting), running_view, self.cluster)
-            self._start_jobs(to_start, waiting, events, now)
+            to_start = self.policy.decide(
+                now, tuple(st.waiting), running_view, self.cluster
+            )
+            self._start_jobs(to_start, st.waiting, st.events, now)
 
-            if timeseries is not None:
-                backlog = sum(j.nodes * j.runtime for j in waiting)
-                timeseries.record(
-                    now, len(waiting), self.cluster.used_nodes, backlog
+            if st.timeseries is not None:
+                backlog = sum(j.nodes * j.runtime for j in st.waiting)
+                st.timeseries.record(
+                    now, len(st.waiting), self.cluster.used_nodes, backlog
                 )
 
         window_span = max(win_hi - win_lo, 1e-12)
         result = SimulationResult(
-            jobs=completed,
+            jobs=st.completed,
             window=self.window,
-            avg_queue_length=queue_integral / window_span,
-            utilization=busy_integral / (window_span * self.cluster.capacity),
-            decision_count=decision_count,
-            sim_end_time=prev_time,
+            avg_queue_length=st.queue_integral / window_span,
+            utilization=st.busy_integral / (window_span * self.cluster.capacity),
+            decision_count=st.decision_count,
+            sim_end_time=st.prev_time,
             wall_seconds=_wallclock.perf_counter() - wall_start,
             policy_name=self.policy.name,
             extra=dict(getattr(self.policy, "stats", {}) or {}),
-            timeseries=timeseries,
+            timeseries=st.timeseries,
         )
-        if len(completed) != len(self.jobs):
+        if len(st.completed) != len(self.jobs):
             raise AssertionError(
-                f"simulation ended with {len(self.jobs) - len(completed)} "
+                f"simulation ended with {len(self.jobs) - len(st.completed)} "
                 "unfinished jobs (policy starvation or engine bug)"
             )
         return result

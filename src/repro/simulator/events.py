@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import enum
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -34,11 +33,17 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event`."""
+    """A deterministic min-heap of :class:`Event`.
+
+    The tie-break sequence is a plain integer counter (not an
+    ``itertools.count``) so a queue snapshot pickles and restores exactly
+    — checkpoint/resume (:mod:`repro.simulator.checkpoint`) must continue
+    the sequence where the interrupted run left off.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._next_seq = 0
 
     def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
         """Schedule an event; returns it (useful for assertions in tests).
@@ -47,7 +52,8 @@ class EventQueue:
         enforced by the engine, which knows ``now``; the queue itself only
         guarantees deterministic ordering.
         """
-        event = Event(time=time, seq=next(self._counter), kind=kind, payload=payload)
+        event = Event(time=time, seq=self._next_seq, kind=kind, payload=payload)
+        self._next_seq += 1
         heapq.heappush(self._heap, event)
         return event
 

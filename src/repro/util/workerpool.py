@@ -1,4 +1,4 @@
-"""Persistent process worker pool shared across scheduling decisions.
+"""Persistent, supervised process worker pool shared across decisions.
 
 The intra-decision parallel search engine
 (:mod:`repro.core.parallel_search`) fans each decision's shards across
@@ -19,11 +19,17 @@ pool per worker count alive for the whole process**:
   before the workers spawn and inherited by all of them, used by the
   parallel search's opt-in incumbent broadcast (``share_incumbent``).
 
-The pool is deliberately generic: submit any picklable top-level callable
-with :meth:`WorkerPool.submit`.  If an executor cannot be created or
-breaks (exotic platforms, resource limits), the pool marks itself failed
-and callers fall back to inline execution — nothing here raises for
-"no parallelism available".
+Supervision (the fault-tolerance layer, see ``docs/robustness.md``): a
+pool that breaks — a worker dies mid-task (``BrokenProcessPool``), the
+warm-up exceeds its deadline, the executor cannot spawn — is marked
+broken, and callers may :meth:`~WorkerPool.respawn` it a bounded number
+of times (``REPRO_POOL_RESPAWNS``).  Once the respawn budget is spent the
+pool is permanently failed and callers run inline instead — nothing here
+ever raises for "no parallelism available".  Fault injection
+(:mod:`repro.util.faults`) hooks the spawn path (``worker.spawn``) and
+can kill a live worker for real (:meth:`~WorkerPool.crash_worker`), so
+the whole recovery ladder is exercised deterministically in tests and in
+the chaos CI job.
 """
 
 from __future__ import annotations
@@ -35,6 +41,8 @@ import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any, Callable, TypeVar
 
+from repro.util import faults
+
 _T = TypeVar("_T")
 
 #: Float slots in each pool's shared blackboard.  The parallel search uses
@@ -43,8 +51,60 @@ _T = TypeVar("_T")
 #: generations.
 BLACKBOARD_SLOTS = 8
 
+#: Default warm-up deadline (seconds); override per pool or via
+#: ``REPRO_POOL_WARMUP_TIMEOUT``.
+DEFAULT_WARMUP_TIMEOUT = 60.0
+
+#: Default number of times a broken pool may be respawned before it is
+#: permanently failed; override per pool or via ``REPRO_POOL_RESPAWNS``.
+DEFAULT_MAX_RESPAWNS = 2
+
+#: Default per-task result deadline (seconds) used by supervised callers;
+#: override via ``REPRO_TASK_DEADLINE`` (0 or negative disables it).
+DEFAULT_TASK_DEADLINE = 300.0
+
 #: Set in each worker process by the executor initializer.
 _worker_blackboard: Any = None
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+def warmup_timeout() -> float:
+    """The configured pool warm-up deadline in seconds."""
+    return _env_float("REPRO_POOL_WARMUP_TIMEOUT", DEFAULT_WARMUP_TIMEOUT)
+
+
+def task_deadline() -> float | None:
+    """Per-task result deadline for supervised submissions (``None`` = off)."""
+    value = _env_float("REPRO_TASK_DEADLINE", DEFAULT_TASK_DEADLINE)
+    return value if value > 0 else None
+
+
+def retry_backoff(attempt: int, base: float = 0.05, cap: float = 0.5) -> float:
+    """Deterministic exponential backoff delay (seconds) for retry ``attempt``.
+
+    Purely a pacing aid between pool respawns — it cannot affect results,
+    only wall time, so there is no jitter to keep replay exact.
+    """
+    return min(base * (2.0 ** max(0, attempt)), cap)
 
 
 def _init_worker(blackboard: Any) -> None:
@@ -66,6 +126,11 @@ def _warm(index: int, naptime: float) -> int:
     return index
 
 
+def _abrupt_exit(code: int) -> None:
+    """Kill the calling worker without cleanup (crash_worker payload)."""
+    os._exit(code)
+
+
 def available_cores() -> int:
     """CPUs this process may actually use (affinity-aware)."""
     try:
@@ -79,21 +144,47 @@ class WorkerPool:
 
     Instances are cheap until :meth:`ensure_started` (or the first
     :meth:`submit`) actually creates the executor.  A pool that fails to
-    start stays failed — callers should run inline instead.
+    start marks itself broken; callers should run inline, or ask for a
+    bounded :meth:`respawn` first.
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(
+        self,
+        workers: int,
+        warmup_deadline: float | None = None,
+        max_respawns: int | None = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        #: Seconds the warm-up wave may take before the pool is declared
+        #: broken (satellite fix: this used to be a hard-coded 60).
+        self.warmup_deadline = (
+            warmup_deadline if warmup_deadline is not None else warmup_timeout()
+        )
+        self.max_respawns = (
+            max_respawns
+            if max_respawns is not None
+            else _env_int("REPRO_POOL_RESPAWNS", DEFAULT_MAX_RESPAWNS)
+        )
         self._executor: ProcessPoolExecutor | None = None
         self._blackboard: Any = None
         self._failed = False
+        self._respawns = 0
 
     # ------------------------------------------------------------------
     @property
     def started(self) -> bool:
         return self._executor is not None
+
+    @property
+    def failed(self) -> bool:
+        """Whether the pool is currently marked broken."""
+        return self._failed
+
+    @property
+    def respawns_used(self) -> int:
+        return self._respawns
 
     @property
     def blackboard(self) -> Any:
@@ -106,11 +197,15 @@ class WorkerPool:
         With ``warm`` (the default) a wave of trivial tasks is pushed
         through so every worker process exists before real work arrives —
         the "spawned once per simulation" contract of the parallel search.
+        A warm-up that exceeds :attr:`warmup_deadline` (or a worker that
+        dies during it) marks the pool broken instead of raising; callers
+        fall back inline, exactly as for any other unavailable pool.
         """
         if self._failed:
             return False
         if self._executor is None:
             try:
+                faults.fire("worker.spawn")
                 ctx = mp.get_context()
                 self._blackboard = ctx.Array("d", BLACKBOARD_SLOTS)
                 self._executor = ProcessPoolExecutor(
@@ -126,9 +221,12 @@ class WorkerPool:
                         for i in range(self.workers)
                     ]
                     for future in futures:
-                        future.result(timeout=60)
+                        future.result(timeout=self.warmup_deadline)
             except Exception:
-                self.shutdown()
+                # Covers spawn failure, a worker dying during warm-up
+                # (BrokenProcessPool) and a warm-up deadline overrun
+                # (TimeoutError): the pool is broken, not the caller.
+                self.shutdown(wait=False)
                 self._failed = True
                 return False
         return True
@@ -140,22 +238,60 @@ class WorkerPool:
             raise RuntimeError("worker pool is not available")
         return self._executor.submit(fn, *args)
 
+    def crash_worker(self, code: int = 1) -> bool:
+        """Kill one live worker abruptly (fault injection / chaos tests).
+
+        Returns whether a kill task could be submitted.  The dying worker
+        breaks the executor, so in-flight and subsequent futures raise
+        ``BrokenProcessPool`` — the exact failure mode supervision must
+        recover from.
+        """
+        if self._executor is None:
+            return False
+        try:
+            self._executor.submit(_abrupt_exit, code)
+            return True
+        except Exception:
+            return False
+
     def mark_broken(self) -> None:
-        """Record a transport failure: shut down and stop trying."""
-        self.shutdown()
+        """Record a transport failure: tear down and stop accepting work.
+
+        Tear-down does not wait for workers (a hung worker must not hang
+        the supervisor too).  The pool stays failed until — and unless —
+        :meth:`respawn` grants another attempt.
+        """
+        self.shutdown(wait=False)
         self._failed = True
 
-    def shutdown(self) -> None:
+    def respawn(self) -> bool:
+        """Clear the broken flag if the respawn budget allows another try.
+
+        Returns ``True`` when the caller may ``ensure_started`` again;
+        ``False`` once the budget is spent — the pool is then permanently
+        failed and every caller runs inline (the escape hatch that
+        guarantees forward progress under arbitrarily hostile faults).
+        """
+        if self._respawns >= self.max_respawns:
+            return False
+        self._respawns += 1
+        self._failed = False
+        return True
+
+    def shutdown(self, wait: bool = True) -> None:
         """Terminate the workers (the pool object itself stays reusable
         unless it was marked broken)."""
         if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor.shutdown(wait=wait, cancel_futures=True)
             self._executor = None
         self._blackboard = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "failed" if self._failed else ("up" if self.started else "idle")
-        return f"<WorkerPool workers={self.workers} {state}>"
+        return (
+            f"<WorkerPool workers={self.workers} {state} "
+            f"respawns={self._respawns}/{self.max_respawns}>"
+        )
 
 
 # ----------------------------------------------------------------------

@@ -23,11 +23,19 @@ field   SWF meaning              our use
 
 Requested runtimes below the actual runtime are clamped up to it (real
 logs contain such rows; a scheduler cannot plan with them).
+
+By default a malformed line aborts the parse with a precise
+:class:`SwfParseError`.  Real archive traces occasionally carry a handful
+of broken rows, so ``read_swf(..., strict=False)`` instead *skips* each
+malformed line and collects a :class:`SwfDiagnostic` (line number +
+reason) per skip; the full list rides along in
+``workload.meta["swf_diagnostics"]``.
 """
 
 from __future__ import annotations
 
 import io
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, TextIO
 
@@ -44,6 +52,15 @@ class SwfParseError(ValueError):
     def __init__(self, lineno: int, message: str) -> None:
         super().__init__(f"SWF line {lineno}: {message}")
         self.lineno = lineno
+        self.reason = message
+
+
+@dataclass(frozen=True)
+class SwfDiagnostic:
+    """One skipped malformed line from a ``strict=False`` parse."""
+
+    lineno: int
+    reason: str
 
 
 def _open(source: str | Path | TextIO) -> tuple[TextIO, bool]:
@@ -52,11 +69,57 @@ def _open(source: str | Path | TextIO) -> tuple[TextIO, bool]:
     return source, False
 
 
+def _parse_data_line(
+    lineno: int, fields: list[str], drop_zero_runtime: bool
+) -> Job | None:
+    """One SWF data row -> :class:`Job` (``None`` = silently dropped row).
+
+    Raises :class:`SwfParseError` on anything malformed; the caller
+    decides whether that aborts the parse or becomes a diagnostic.
+    """
+    if len(fields) < _N_FIELDS:
+        raise SwfParseError(
+            lineno, f"expected {_N_FIELDS} fields, got {len(fields)}"
+        )
+    try:
+        job_id = int(fields[0])
+        submit = float(fields[1])
+        runtime = float(fields[3])
+        allocated = int(float(fields[4]))
+        requested_procs = int(float(fields[7]))
+        requested_time = float(fields[8])
+        uid = int(float(fields[11]))
+    except ValueError as exc:
+        raise SwfParseError(lineno, f"bad numeric field: {exc}") from None
+
+    nodes = requested_procs if requested_procs > 0 else allocated
+    if nodes <= 0:
+        raise SwfParseError(lineno, "no usable processor count")
+    if runtime <= 0:
+        if drop_zero_runtime:
+            return None
+        raise SwfParseError(lineno, "non-positive runtime")
+    if submit < 0:
+        raise SwfParseError(lineno, f"negative submit time {submit}")
+    requested = requested_time if requested_time > 0 else runtime
+    requested = max(requested, runtime)  # clamp R >= T
+
+    return Job(
+        job_id=job_id,
+        submit_time=submit,
+        nodes=nodes,
+        runtime=runtime,
+        requested_runtime=requested,
+        user=f"u{uid}" if uid >= 0 else None,
+    )
+
+
 def read_swf(
     source: str | Path | TextIO,
     name: str | None = None,
     cluster: ClusterConfig | None = None,
     drop_zero_runtime: bool = True,
+    strict: bool = True,
 ) -> Workload:
     """Parse an SWF stream or file into a :class:`Workload`.
 
@@ -64,10 +127,17 @@ def read_swf(
     ``cluster`` is given, capacity is inferred as the maximum requested
     node count (rounded up to a power of two) and limits are set
     permissively from the data.
+
+    ``strict=False`` skips malformed lines instead of raising, recording
+    each skip in ``workload.meta["swf_diagnostics"]`` as a
+    :class:`SwfDiagnostic`.  Duplicate job ids still fail later, at
+    simulation construction — deduplication is a trace-editing decision
+    this parser refuses to make silently.
     """
     stream, owned = _open(source)
     jobs: list[Job] = []
     header: dict[str, str] = {}
+    diagnostics: list[SwfDiagnostic] = []
     max_nodes = 0
     max_runtime = 0.0
     try:
@@ -80,46 +150,18 @@ def read_swf(
                     key, _, value = line[1:].partition(":")
                     header[key.strip()] = value.strip()
                 continue
-            fields = line.split()
-            if len(fields) < _N_FIELDS:
-                raise SwfParseError(
-                    lineno, f"expected {_N_FIELDS} fields, got {len(fields)}"
-                )
             try:
-                job_id = int(fields[0])
-                submit = float(fields[1])
-                runtime = float(fields[3])
-                allocated = int(float(fields[4]))
-                requested_procs = int(float(fields[7]))
-                requested_time = float(fields[8])
-                uid = int(float(fields[11]))
-            except ValueError as exc:
-                raise SwfParseError(lineno, f"bad numeric field: {exc}") from None
-
-            nodes = requested_procs if requested_procs > 0 else allocated
-            if nodes <= 0:
-                raise SwfParseError(lineno, "no usable processor count")
-            if runtime <= 0:
-                if drop_zero_runtime:
-                    continue
-                raise SwfParseError(lineno, "non-positive runtime")
-            if submit < 0:
-                raise SwfParseError(lineno, f"negative submit time {submit}")
-            requested = requested_time if requested_time > 0 else runtime
-            requested = max(requested, runtime)  # clamp R >= T
-
-            jobs.append(
-                Job(
-                    job_id=job_id,
-                    submit_time=submit,
-                    nodes=nodes,
-                    runtime=runtime,
-                    requested_runtime=requested,
-                    user=f"u{uid}" if uid >= 0 else None,
-                )
-            )
-            max_nodes = max(max_nodes, nodes)
-            max_runtime = max(max_runtime, requested)
+                job = _parse_data_line(lineno, line.split(), drop_zero_runtime)
+            except SwfParseError as exc:
+                if strict:
+                    raise
+                diagnostics.append(SwfDiagnostic(exc.lineno, exc.reason))
+                continue
+            if job is None:
+                continue
+            jobs.append(job)
+            max_nodes = max(max_nodes, job.nodes)
+            max_runtime = max(max_runtime, job.requested_runtime)
     finally:
         if owned:
             stream.close()
@@ -143,7 +185,7 @@ def read_swf(
         jobs=jobs,
         window=(lo, hi),
         cluster=cluster,
-        meta={"swf_header": header},
+        meta={"swf_header": header, "swf_diagnostics": tuple(diagnostics)},
     )
 
 

@@ -1,0 +1,66 @@
+"""Atomic write helpers (``repro.util.atomio``)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.util.atomio import atomic_write_bytes, atomic_write_json, atomic_write_text
+
+
+def test_writes_bytes_and_creates_parents(tmp_path):
+    target = tmp_path / "a" / "b" / "artifact.bin"
+    returned = atomic_write_bytes(target, b"\x00\x01payload")
+    assert returned == target
+    assert target.read_bytes() == b"\x00\x01payload"
+
+
+def test_replaces_existing_content(tmp_path):
+    target = tmp_path / "report.txt"
+    atomic_write_text(target, "old")
+    atomic_write_text(target, "new")
+    assert target.read_text() == "new"
+
+
+def test_no_temporary_files_left_behind(tmp_path):
+    target = tmp_path / "artifact.json"
+    atomic_write_json(target, {"x": 1})
+    assert os.listdir(tmp_path) == ["artifact.json"]
+
+
+def test_json_has_trailing_newline_and_kwargs(tmp_path):
+    target = tmp_path / "r.json"
+    atomic_write_json(target, {"b": 2, "a": 1}, sort_keys=True)
+    text = target.read_text()
+    assert text.endswith("\n")
+    assert text == '{"a": 1, "b": 2}\n'
+    assert json.loads(text) == {"a": 1, "b": 2}
+
+
+def test_failed_write_leaves_destination_untouched(tmp_path):
+    """A crash mid-write (here: unserializable JSON) must not tear the old file."""
+    target = tmp_path / "r.json"
+    atomic_write_json(target, {"ok": True})
+    with pytest.raises(TypeError):
+        atomic_write_json(target, {"bad": object()})
+    assert json.loads(target.read_text()) == {"ok": True}
+    assert os.listdir(tmp_path) == ["r.json"]
+
+
+def test_failed_rename_cleans_up_tmp_file(tmp_path, monkeypatch):
+    """If the final rename dies, the old content survives and no tmp leaks."""
+    import repro.util.atomio as atomio
+
+    target = tmp_path / "f.txt"
+    atomic_write_text(target, "old")
+
+    def exploding_replace(src, dst):
+        raise OSError("injected rename failure")
+
+    monkeypatch.setattr(atomio.os, "replace", exploding_replace)
+    with pytest.raises(OSError, match="injected rename failure"):
+        atomic_write_text(target, "new")
+    assert target.read_text() == "old"
+    assert os.listdir(tmp_path) == ["f.txt"]

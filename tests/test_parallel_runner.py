@@ -141,6 +141,7 @@ def test_run_matrix_raises_after_grid_completes():
 # ----------------------------------------------------------------------
 # The run cache
 # ----------------------------------------------------------------------
+@pytest.mark.fault_sensitive  # exact hit counts; injected cache faults turn hits into misses
 def test_warm_cache_skips_all_simulations(tmp_path):
     cache = RunCache(tmp_path / "cache")
     cold = run_grid(GRID, max_workers=1, cache=cache)
@@ -193,6 +194,7 @@ def test_cached_run_equals_fresh_run(tmp_path):
 # ----------------------------------------------------------------------
 # Session configuration
 # ----------------------------------------------------------------------
+@pytest.mark.fault_sensitive  # asserts a minimum cache-hit count
 def test_run_all_honours_configured_cache(tmp_path):
     configure(max_workers=1, cache=RunCache(tmp_path / "cache"))
     first = run_all(GRID[:2])

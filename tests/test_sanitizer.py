@@ -38,17 +38,27 @@ def small_cluster(nodes=16):
 # ----------------------------------------------------------------------
 # Enable/disable plumbing
 # ----------------------------------------------------------------------
-def test_disabled_by_default():
-    assert sanitize_enabled() is False
+def test_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    set_sanitize(None)  # drop any cached env reading (chaos CI sets the var)
+    try:
+        assert sanitize_enabled() is False
+    finally:
+        set_sanitize(None)
 
 
-def test_context_manager_scopes_override():
-    with sanitized(True):
-        assert sanitize_enabled() is True
-        with sanitized(False):
-            assert sanitize_enabled() is False
-        assert sanitize_enabled() is True
-    assert sanitize_enabled() is False
+def test_context_manager_scopes_override(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    set_sanitize(None)
+    try:
+        with sanitized(True):
+            assert sanitize_enabled() is True
+            with sanitized(False):
+                assert sanitize_enabled() is False
+            assert sanitize_enabled() is True
+        assert sanitize_enabled() is False
+    finally:
+        set_sanitize(None)
 
 
 def test_env_var_enables(monkeypatch):

@@ -149,3 +149,54 @@ def test_user_roundtrips_through_writer(tmp_path):
         # u007 normalizes to u7 through the numeric uid field.
         assert job.user is not None
         assert int(job.user[1:]) == int(originals[job.job_id][1:])
+
+
+# ----------------------------------------------------------------------
+# Lenient parsing (strict=False): skip + diagnose instead of abort
+# ----------------------------------------------------------------------
+def test_strict_false_skips_malformed_lines_with_diagnostics():
+    text = "\n".join(
+        [
+            "; Computer: M",
+            _line(job_id=1),
+            "1 2 3",  # too few fields
+            _line(job_id=2, submit=100).replace("3600", "abc", 1),  # bad number
+            _line(job_id=3, submit=200),
+            _line(job_id=4, submit=300, requested_procs=-1, allocated=0),  # no procs
+        ]
+    )
+    w = read_swf_string(text, strict=False)
+    assert [j.job_id for j in w.jobs] == [1, 3]
+    diags = w.meta["swf_diagnostics"]
+    assert [d.lineno for d in diags] == [3, 4, 6]
+    assert "18 fields" in diags[0].reason
+    assert "bad numeric field" in diags[1].reason
+    assert "processor count" in diags[2].reason
+
+
+def test_strict_default_still_raises():
+    text = _line() + "\n1 2 3\n"
+    with pytest.raises(SwfParseError):
+        read_swf_string(text)
+    # ... and the clean trace reports an empty diagnostics list.
+    w = read_swf_string(_line())
+    assert w.meta["swf_diagnostics"] == ()
+
+
+def test_strict_false_with_nothing_salvageable_still_rejects():
+    with pytest.raises(SwfParseError, match="no jobs"):
+        read_swf_string("1 2 3\n4 5 6\n", strict=False)
+
+
+def test_strict_false_parses_identically_on_clean_traces(tmp_path):
+    original = generate_month("2003-06", seed=2, scale=0.01)
+    path = tmp_path / "clean.swf"
+    write_swf(original, path)
+    strict = read_swf(path, cluster=original.cluster)
+    lenient = read_swf(path, cluster=original.cluster, strict=False)
+    assert [(j.job_id, j.submit_time, j.nodes, j.runtime, j.requested_runtime)
+            for j in strict.jobs] == [
+        (j.job_id, j.submit_time, j.nodes, j.runtime, j.requested_runtime)
+        for j in lenient.jobs
+    ]
+    assert lenient.meta["swf_diagnostics"] == ()

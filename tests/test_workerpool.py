@@ -96,3 +96,91 @@ def test_registry_deduplicates_by_worker_count():
     shutdown_all()
     # After shutdown_all the registry is empty: a fresh object is handed out.
     assert get_pool(2) is not a
+
+
+# ----------------------------------------------------------------------
+# Supervision: crash, respawn budget, deadlines
+# ----------------------------------------------------------------------
+def test_crash_worker_breaks_the_executor():
+    """crash_worker produces the *real* failure mode supervision must
+    handle: the executor goes broken and subsequent futures raise."""
+    pool = WorkerPool(1)
+    assert pool.ensure_started()
+    assert pool.crash_worker()
+    with pytest.raises(Exception):  # BrokenProcessPool, surfaced on result
+        pool.submit(_square, 2).result(timeout=60)
+    pool.mark_broken()
+    assert pool.failed
+
+
+def test_respawn_budget_is_bounded_then_permanent():
+    pool = WorkerPool(1, max_respawns=2)
+    for expected in (1, 2):
+        pool.mark_broken()
+        assert pool.failed
+        assert pool.respawn()
+        assert pool.respawns_used == expected
+        assert not pool.failed
+        assert pool.ensure_started(warm=False)
+    pool.mark_broken()
+    assert not pool.respawn()  # budget spent: permanently failed
+    assert pool.failed
+    assert not pool.ensure_started()
+    pool.shutdown()
+
+
+def test_respawned_pool_actually_works_again():
+    pool = WorkerPool(1, max_respawns=1)
+    assert pool.ensure_started(warm=False)
+    assert pool.crash_worker()
+    pool.mark_broken()
+    assert pool.respawn()
+    assert pool.ensure_started(warm=False)
+    assert pool.submit(_square, 6).result(timeout=60) == 36
+    pool.shutdown()
+
+
+def test_warmup_deadline_overrun_marks_pool_broken_not_raises():
+    """Satellite fix for the hard-coded 60 s warm-up: an impossible
+    deadline degrades into the inline fallback instead of raising."""
+    pool = WorkerPool(2, warmup_deadline=1e-9)
+    assert not pool.ensure_started(warm=True)
+    assert pool.failed
+    with pytest.raises(RuntimeError):
+        pool.submit(_square, 1)
+
+
+def test_warmup_deadline_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_POOL_WARMUP_TIMEOUT", "123.5")
+    assert WorkerPool(1).warmup_deadline == 123.5
+    monkeypatch.setenv("REPRO_POOL_WARMUP_TIMEOUT", "not-a-number")
+    assert WorkerPool(1).warmup_deadline == workerpool.DEFAULT_WARMUP_TIMEOUT
+
+
+def test_respawn_budget_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_POOL_RESPAWNS", "5")
+    assert WorkerPool(1).max_respawns == 5
+
+
+def test_task_deadline_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_TASK_DEADLINE", "7.5")
+    assert workerpool.task_deadline() == 7.5
+    monkeypatch.setenv("REPRO_TASK_DEADLINE", "0")
+    assert workerpool.task_deadline() is None  # disabled
+
+
+def test_retry_backoff_is_deterministic_and_capped():
+    delays = [workerpool.retry_backoff(a) for a in range(8)]
+    assert delays == sorted(delays)
+    assert delays[0] == pytest.approx(0.05)
+    assert max(delays) == 0.5
+    assert [workerpool.retry_backoff(a) for a in range(8)] == delays
+
+
+def test_spawn_fault_degrades_to_unavailable():
+    from repro.util.faults import FaultPlan, injected_faults
+
+    pool = WorkerPool(1)
+    with injected_faults(FaultPlan.parse("seed=1,worker.spawn=1.0")):
+        assert not pool.ensure_started()
+    assert pool.failed
