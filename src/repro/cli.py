@@ -17,6 +17,9 @@ Commands
 ``bench``
     Time the search hot path (both engines, bit-identity checked) and
     write the ``BENCH_search.json`` perf report.
+``optgap``
+    Measure DDS/LDS gap-to-optimal against the exact small-instance
+    solver and write the ``BENCH_optgap.json`` quality report.
 
 Policy specs accepted by ``run --policy``:
 
@@ -37,7 +40,9 @@ interrupt-safe long simulations (:mod:`repro.simulator.checkpoint`).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.backfill import BackfillPolicy, fcfs_backfill, lxf_backfill
@@ -361,6 +366,44 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_optgap(args: argparse.Namespace) -> int:
+    from repro.experiments.optgap import check_report, run_optgap, write_optgap
+
+    if args.check:
+        # Smoke mode: re-measure (quick by default) and judge against the
+        # committed report's tolerance block — nothing is overwritten.
+        committed_path = Path(args.out)
+        if not committed_path.exists():
+            raise CliError(f"no committed report at {committed_path} to check against")
+        committed = json.loads(committed_path.read_text())
+        fresh = run_optgap(
+            quick=args.quick, n_instances=args.instances, seed=args.seed,
+            progress=print,
+        )
+        failures = check_report(fresh, committed)
+        for failure in failures:
+            print(f"TOLERANCE FAIL: {failure}")
+        if failures:
+            return 1
+        print(f"within tolerance of {committed_path}")
+        return 0
+    report = write_optgap(
+        args.out,
+        quick=args.quick,
+        n_instances=args.instances,
+        seed=args.seed,
+        progress=print,
+    )
+    top = report["budgets"][-1]
+    fracs = ", ".join(
+        f"{r['algorithm']}/{r['heuristic']} {r['frac_optimal']:.0%}"
+        for r in report["rows"]
+        if r["node_limit"] == top
+    )
+    print(f"wrote {args.out} (optimal at L={top}: {fracs})")
+    return 0
+
+
 def cmd_swf_convert(args: argparse.Namespace) -> int:
     if args.month not in MONTHS:
         raise CliError(
@@ -519,6 +562,35 @@ def build_parser() -> argparse.ArgumentParser:
         "against the fast engine is asserted per config)",
     )
     bench.set_defaults(func=cmd_bench)
+
+    optgap = sub.add_parser(
+        "optgap",
+        help="measure search gap-to-optimal and write BENCH_optgap.json",
+    )
+    optgap.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer instances and budgets (CI smoke mode; report marks "
+        "quick=true)",
+    )
+    optgap.add_argument(
+        "--out", default="BENCH_optgap.json", help="report path (default: repo root)"
+    )
+    optgap.add_argument(
+        "--instances",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the instance count (default 24, or 8 with --quick)",
+    )
+    optgap.add_argument("--seed", type=int, default=2005)
+    optgap.add_argument(
+        "--check",
+        action="store_true",
+        help="re-measure and verify against the committed --out report's "
+        "tolerance block instead of overwriting it (exit 1 on violation)",
+    )
+    optgap.set_defaults(func=cmd_optgap)
 
     convert = sub.add_parser("swf-convert", help="export a synthetic month as SWF")
     convert.add_argument("--month", required=True)

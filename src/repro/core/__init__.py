@@ -12,6 +12,8 @@ Layout:
   permutation-order generators behind Figure 1.
 - :mod:`repro.core.search` — the node-limited anytime LDS/DDS engine that
   evaluates candidate schedules.
+- :mod:`repro.core.exact` — exact small-instance solver; the optimality
+  oracle the engines' gap-to-optimal is measured against.
 - :mod:`repro.core.scheduler` — the on-line policy wrapping it all
   (DDS/lxf/dynB and friends).
 """
@@ -49,6 +51,12 @@ from repro.core.search_tree import (
     num_paths,
 )
 from repro.core.search import DiscrepancySearch, SearchProblem, SearchResult
+from repro.core.exact import (
+    ExactBackendUnavailable,
+    ExactResult,
+    have_ortools,
+    solve_exact,
+)
 from repro.core.schedule_builder import build_schedule
 from repro.core.scheduler import SearchSchedulingPolicy, make_policy
 
@@ -83,6 +91,10 @@ __all__ = [
     "DiscrepancySearch",
     "SearchProblem",
     "SearchResult",
+    "ExactBackendUnavailable",
+    "ExactResult",
+    "have_ortools",
+    "solve_exact",
     "build_schedule",
     "SearchSchedulingPolicy",
     "make_policy",

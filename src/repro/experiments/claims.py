@@ -131,6 +131,19 @@ def build_context(
     if hard in months:
         small, large = results[n_main], results[n_main + 1]
         context.extras["fig6"] = (small, large, thresholds[hard])
+
+    # Optimality-gap micro-grid (C12/C13): small instances solved exactly
+    # by core.exact, searched at the scaled Figure-6 budgets.  Instances
+    # are capped at 5 jobs so the exact solves stay trivial next to the
+    # simulation matrix above.
+    from repro.experiments.optgap import run_optgap
+
+    context.extras["optgap"] = run_optgap(
+        n_instances=6,
+        budgets=(exp.L(1000), exp.L(10000)),
+        seed=exp.seed,
+        max_jobs=5,
+    )
     return context
 
 
@@ -273,6 +286,45 @@ def evaluate_claims(context: ClaimContext) -> list[ClaimResult]:
         selective <= fcfs_s,
         f"Selective {selective:.0f} vs FCFS-BF {fcfs_s:.0f}",
     )
+
+    # --- Gap to optimal (the exact-solver oracle) -----------------------
+    if "optgap" in context.extras:
+        report = context.extras["optgap"]
+        low_l, top_l = report["budgets"][0], report["budgets"][-1]
+
+        def gap_row(algorithm: str, limit: int) -> dict:
+            (row,) = [
+                r
+                for r in report["rows"]
+                if r["algorithm"] == algorithm and r["node_limit"] == limit
+            ]
+            return row
+
+        dds_top = gap_row("dds", top_l)
+        claim(
+            "C12",
+            "DDS at the larger Fig-6 budget finds the provable optimum on "
+            "most small instances",
+            dds_top["frac_optimal"] >= 0.5,
+            f"{dds_top['n_optimal']}/{dds_top['n_instances']} optimal at "
+            f"L={top_l}",
+        )
+        shrinks = all(
+            gap_row(a, top_l)["mean_excess_gap_hours"]
+            <= gap_row(a, low_l)["mean_excess_gap_hours"] + 1e-9
+            for a in ("dds", "lds")
+        )
+        claim(
+            "C13",
+            "The gap to optimal never grows with the search budget",
+            shrinks,
+            "mean excess gap (h) "
+            + ", ".join(
+                f"{a}: {gap_row(a, low_l)['mean_excess_gap_hours']:.2f}@L={low_l}"
+                f" -> {gap_row(a, top_l)['mean_excess_gap_hours']:.2f}@L={top_l}"
+                for a in ("dds", "lds")
+            ),
+        )
     return results
 
 

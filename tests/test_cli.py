@@ -191,6 +191,7 @@ def test_swf_convert_roundtrip(tmp_path, capsys):
     assert code == 0
 
 
+@pytest.mark.tier2
 def test_claims_command_reduced(monkeypatch, capsys):
     # Shrink the scale so the claims run stays fast in tests.
     monkeypatch.setenv("REPRO_SCALE", "0.04")

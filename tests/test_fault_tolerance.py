@@ -113,6 +113,7 @@ def test_search_identical_when_pool_cannot_spawn():
     assert _fingerprint(chaotic) == _fingerprint(clean)
 
 
+@pytest.mark.tier2
 def test_simulation_grid_identical_under_worker_chaos():
     """A full workload simulation through the parallel-search policy under
     crash + transport faults matches the fault-free run — the ISSUE's
@@ -204,6 +205,7 @@ def test_hand_corrupted_entry_never_crashes_or_hits(tmp_path):
 # ----------------------------------------------------------------------
 # The combined acceptance scenario from the ISSUE
 # ----------------------------------------------------------------------
+@pytest.mark.tier2
 def test_acceptance_combined_fault_plan(tmp_path):
     """One plan killing workers *and* corrupting cache entries across a
     grid: results bit-identical, corruption quarantined, no crash."""

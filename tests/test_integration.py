@@ -93,6 +93,7 @@ def test_dds_low_excessive_wait(runs):
     assert dds_total < lxf_total
 
 
+@pytest.mark.tier2
 def test_node_limit_improves_hard_month():
     """More search budget reduces excessive wait on the backlogged month
     (Figure 6 shape)."""

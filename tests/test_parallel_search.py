@@ -8,6 +8,10 @@ to the serial fast engine at **any** node budget, and invariant to
 ``search_workers``.  These tests enforce the contract head-to-head on
 fixed problems, across worker counts through a real process pool, over a
 full workload replay, and under ``REPRO_SANITIZE=1``.
+
+Fingerprinting, replay plumbing and instance builders live in
+``tests/oracles.py`` (shared with the fast-engine and exact-solver
+differential suites).
 """
 
 from __future__ import annotations
@@ -15,24 +19,11 @@ from __future__ import annotations
 import pytest
 
 from repro.core.scheduler import SearchSchedulingPolicy, make_policy
-from repro.core.search import DiscrepancySearch, SearchResult
-from repro.experiments.bench import build_problem
+from repro.core.search import DiscrepancySearch
 from repro.simulator.engine import Simulation
 from repro.util.sanitize import sanitized
 from repro.workloads.synthetic import generate_month
-
-
-def _fingerprint(result: SearchResult) -> tuple:
-    return (
-        tuple(j.job_id for j in result.best_order),
-        tuple(sorted(result.best_starts.items())),
-        result.best_score,
-        result.nodes_visited,
-        result.leaves_evaluated,
-        result.iterations_started,
-        result.limit_hit,
-        result.improved_after_first,
-    )
+from tests.oracles import build_problem, fingerprint, replay_workload
 
 
 def _search(problem, algorithm, L, engine, workers=1, **kw):
@@ -54,7 +45,7 @@ def test_parallel_bit_identical_to_fast(algorithm, heuristic, L):
     problem = build_problem(heuristic, n_jobs=30 if L is not None else 7)
     fast = _search(problem, algorithm, L, "fast")
     parallel = _search(problem, algorithm, L, "parallel", workers=2)
-    assert _fingerprint(parallel) == _fingerprint(fast)
+    assert fingerprint(parallel) == fingerprint(fast)
 
 
 @pytest.mark.parametrize("algorithm", ["dds", "lds"])
@@ -63,7 +54,7 @@ def test_parallel_invariant_to_worker_count(algorithm):
     — the ISSUE's worker-count invariance clause."""
     problem = build_problem("lxf", n_jobs=30)
     prints = {
-        w: _fingerprint(_search(problem, algorithm, 5000, "parallel", workers=w))
+        w: fingerprint(_search(problem, algorithm, 5000, "parallel", workers=w))
         for w in (1, 2, 4)
     }
     assert prints[1] == prints[2] == prints[4]
@@ -84,7 +75,7 @@ def test_parallel_anytime_trace_identical():
         record_anytime=True,
     ).search(problem)
     assert fast.anytime == par.anytime
-    assert _fingerprint(par) == _fingerprint(fast)
+    assert fingerprint(par) == fingerprint(fast)
 
 
 @pytest.mark.parametrize("n_jobs", [0, 1, 2])
@@ -94,7 +85,7 @@ def test_parallel_tiny_queues(n_jobs):
     problem = build_problem("lxf", n_jobs=n_jobs)
     fast = _search(problem, "dds", 1000, "fast")
     parallel = _search(problem, "dds", 1000, "parallel", workers=2)
-    assert _fingerprint(parallel) == _fingerprint(fast)
+    assert fingerprint(parallel) == fingerprint(fast)
 
 
 def test_parallel_prune_invariant_to_worker_count():
@@ -107,7 +98,7 @@ def test_parallel_prune_invariant_to_worker_count():
         for w in (1, 2, 4)
     }
     assert (
-        _fingerprint(runs[1]) == _fingerprint(runs[2]) == _fingerprint(runs[4])
+        fingerprint(runs[1]) == fingerprint(runs[2]) == fingerprint(runs[4])
     )
 
 
@@ -155,45 +146,13 @@ def test_make_policy_selects_parallel_engine():
 # ----------------------------------------------------------------------
 # Full workload replay
 # ----------------------------------------------------------------------
-class _RecordingSearcher:
-    """Wraps a ``DiscrepancySearch`` and fingerprints every decision."""
-
-    def __init__(self, searcher: DiscrepancySearch) -> None:
-        self._searcher = searcher
-        self.decisions: list[tuple] = []
-
-    def __getattr__(self, name):
-        return getattr(self._searcher, name)
-
-    def search(self, problem) -> SearchResult:
-        result = self._searcher.search(problem)
-        self.decisions.append(_fingerprint(result))
-        return result
-
-
-def _replay(engine: str, workers: int = 1) -> tuple[list[tuple], object]:
-    workload = generate_month("2003-07", seed=11, scale=0.02)
-    policy = SearchSchedulingPolicy(
-        algorithm="dds",
-        heuristic="lxf",
-        node_limit=300,
-        engine=engine,
-        search_workers=workers,
-    )
-    recorder = _RecordingSearcher(policy.searcher)
-    policy.searcher = recorder
-    result = Simulation(
-        workload.fresh_jobs(), policy, workload.cluster, window=workload.window
-    ).run()
-    return recorder.decisions, result
-
-
+@pytest.mark.tier2
 def test_parallel_bit_identical_on_full_workload_replay():
     """Every decision of a month-long replay is bit-identical between the
     parallel engine (through the real persistent pool) and the serial
     fast engine, and so is everything downstream."""
-    fast_decisions, fast_run = _replay("fast")
-    par_decisions, par_run = _replay("parallel", workers=2)
+    fast_decisions, fast_run = replay_workload("fast")
+    par_decisions, par_run = replay_workload("parallel", workers=2)
     assert len(fast_decisions) == len(par_decisions) > 0
     for i, (f, p) in enumerate(zip(fast_decisions, par_decisions)):
         assert f == p, f"decision {i} diverged between engines"
@@ -205,6 +164,7 @@ def test_parallel_bit_identical_on_full_workload_replay():
     ] == [(j.job_id, j.start_time, j.end_time) for j in par_run.jobs]
 
 
+@pytest.mark.tier2
 def test_parallel_engine_clean_under_sanitizer():
     """A sanitized replay: the sanitize flag must reach the workers (it is
     shipped in the batch payload — a leader-side override does not

@@ -6,6 +6,10 @@ see :mod:`repro.core.search`) carries a hard contract: bit-identical
 every decision.  These tests enforce it three ways: head-to-head on
 fixed search problems, per-decision over a full workload replay, and
 under the ``REPRO_SANITIZE=1`` invariant checker.
+
+Fingerprinting, replay plumbing and instance builders live in
+``tests/oracles.py`` (shared with the parallel-engine and exact-solver
+differential suites).
 """
 
 from __future__ import annotations
@@ -13,23 +17,11 @@ from __future__ import annotations
 import pytest
 
 from repro.core.scheduler import SearchSchedulingPolicy
-from repro.core.search import DiscrepancySearch, SearchResult
-from repro.experiments.bench import build_problem
+from repro.core.search import DiscrepancySearch
 from repro.simulator.engine import Simulation
 from repro.util.sanitize import sanitized
 from repro.workloads.synthetic import generate_month
-
-
-def _fingerprint(result: SearchResult) -> tuple:
-    return (
-        tuple(j.job_id for j in result.best_order),
-        tuple(sorted(result.best_starts.items())),
-        result.best_score,
-        result.nodes_visited,
-        result.leaves_evaluated,
-        result.iterations_started,
-        result.limit_hit,
-    )
+from tests.oracles import build_problem, fingerprint, replay_workload
 
 
 @pytest.mark.parametrize("algorithm,heuristic", [("dds", "lxf"), ("lds", "fcfs")])
@@ -40,45 +32,17 @@ def test_engines_bit_identical_on_fixed_problem(algorithm, heuristic, L):
     problem = build_problem(heuristic, n_jobs=30 if L is not None else 7)
     fast = DiscrepancySearch(algorithm, node_limit=L, engine="fast")
     reference = DiscrepancySearch(algorithm, node_limit=L, engine="reference")
-    assert _fingerprint(fast.search(problem)) == _fingerprint(
+    assert fingerprint(fast.search(problem)) == fingerprint(
         reference.search(problem)
     )
 
 
-class _RecordingSearcher:
-    """Wraps a ``DiscrepancySearch`` and fingerprints every decision."""
-
-    def __init__(self, searcher: DiscrepancySearch) -> None:
-        self._searcher = searcher
-        self.decisions: list[tuple] = []
-
-    def __getattr__(self, name):
-        return getattr(self._searcher, name)
-
-    def search(self, problem) -> SearchResult:
-        result = self._searcher.search(problem)
-        self.decisions.append(_fingerprint(result))
-        return result
-
-
-def _replay(engine: str) -> tuple[list[tuple], object]:
-    workload = generate_month("2003-07", seed=11, scale=0.02)
-    policy = SearchSchedulingPolicy(
-        algorithm="dds", heuristic="lxf", node_limit=300, engine=engine
-    )
-    recorder = _RecordingSearcher(policy.searcher)
-    policy.searcher = recorder
-    result = Simulation(
-        workload.fresh_jobs(), policy, workload.cluster, window=workload.window
-    ).run()
-    return recorder.decisions, result
-
-
+@pytest.mark.tier2
 def test_engines_bit_identical_on_full_workload_replay():
     """Every decision of a month-long replay is bit-identical between the
     engines, and so is everything downstream of the decisions."""
-    fast_decisions, fast_run = _replay("fast")
-    ref_decisions, ref_run = _replay("reference")
+    fast_decisions, fast_run = replay_workload("fast")
+    ref_decisions, ref_run = replay_workload("reference")
     assert len(fast_decisions) == len(ref_decisions) > 0
     for i, (f, r) in enumerate(zip(fast_decisions, ref_decisions)):
         assert f == r, f"decision {i} diverged between engines"
@@ -90,6 +54,7 @@ def test_engines_bit_identical_on_full_workload_replay():
     ] == [(j.job_id, j.start_time, j.end_time) for j in ref_run.jobs]
 
 
+@pytest.mark.tier2
 def test_fast_engine_clean_under_sanitizer():
     """A sanitized replay exercises the profile invariant checks around
     every decision the fast engine makes."""
