@@ -20,6 +20,9 @@ Commands
 ``optgap``
     Measure DDS/LDS gap-to-optimal against the exact small-instance
     solver and write the ``BENCH_optgap.json`` quality report.
+``lint``
+    Run simlint (``python -m repro.lint``) over the tree; all simlint
+    flags pass through (see ``docs/linting.md``).
 
 Policy specs accepted by ``run --policy``:
 
@@ -404,6 +407,25 @@ def cmd_optgap(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import main as lint_main
+
+    forwarded: list[str] = []
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    if args.format != "text":
+        forwarded += ["--format", args.format]
+    if args.out:
+        forwarded += ["--out", args.out]
+    if args.baseline:
+        forwarded += ["--baseline", args.baseline]
+    if args.no_baseline:
+        forwarded.append("--no-baseline")
+    if args.write_baseline:
+        forwarded += ["--write-baseline", args.write_baseline]
+    return lint_main(forwarded + list(args.paths))
+
+
 def cmd_swf_convert(args: argparse.Namespace) -> int:
     if args.month not in MONTHS:
         raise CliError(
@@ -591,6 +613,23 @@ def build_parser() -> argparse.ArgumentParser:
         "tolerance block instead of overwriting it (exit 1 on violation)",
     )
     optgap.set_defaults(func=cmd_optgap)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run simlint (determinism/invariant static analysis)",
+        description="Thin wrapper over `python -m repro.lint`; flags pass "
+        "through unchanged (see docs/linting.md).",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], help="files/directories (default: src)"
+    )
+    lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument("--format", choices=("text", "json", "sarif"), default="text")
+    lint.add_argument("--out", default=None, metavar="FILE")
+    lint.add_argument("--baseline", default=None, metavar="FILE")
+    lint.add_argument("--no-baseline", action="store_true")
+    lint.add_argument("--write-baseline", default=None, metavar="FILE")
+    lint.set_defaults(func=cmd_lint)
 
     convert = sub.add_parser("swf-convert", help="export a synthetic month as SWF")
     convert.add_argument("--month", required=True)

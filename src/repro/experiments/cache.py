@@ -33,6 +33,7 @@ import hashlib
 import json
 import logging
 from pathlib import Path
+from typing import Any
 
 from repro.experiments.runner import PolicyRun
 from repro.metrics.measures import JobMetrics
@@ -53,7 +54,7 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 QUARANTINE_DIR = "quarantine"
 
 
-def run_to_payload(run: PolicyRun) -> dict:
+def run_to_payload(run: PolicyRun) -> dict[str, Any]:
     """A JSON-safe dict that round-trips through :func:`run_from_payload`.
 
     Jobs are stored as flat rows; ``repr``-based float serialization in
@@ -90,7 +91,7 @@ def run_to_payload(run: PolicyRun) -> dict:
     }
 
 
-def run_from_payload(payload: dict) -> PolicyRun:
+def run_from_payload(payload: dict[str, Any]) -> PolicyRun:
     """Reconstruct a :class:`PolicyRun` written by :func:`run_to_payload`."""
     jobs = []
     for job_id, submit, nodes, runtime, requested, user, start, end in payload["jobs"]:
@@ -119,7 +120,7 @@ def run_from_payload(payload: dict) -> PolicyRun:
     )
 
 
-def _canonical(payload: dict) -> str:
+def _canonical(payload: dict[str, Any]) -> str:
     """The canonical serialization the checksum covers.
 
     ``json.dumps(json.loads(text))`` with sorted keys is a fixed point for
@@ -198,7 +199,7 @@ class RunCache:
         except (ValueError, KeyError, TypeError) as exc:
             raise CorruptEntry(f"malformed run payload ({exc})") from None
 
-    def put(self, key: str, run: PolicyRun, spec_note: dict | None = None) -> Path:
+    def put(self, key: str, run: PolicyRun, spec_note: dict[str, Any] | None = None) -> Path:
         """Persist ``run`` under ``key``; returns the entry's path.
 
         ``spec_note`` is a human-readable description of the spec stored
@@ -248,7 +249,7 @@ class RunCache:
         removed = 0
         if not self.root.exists():
             return 0
-        for entry in self.root.glob("*/*.json"):
+        for entry in sorted(self.root.glob("*/*.json")):
             entry.unlink(missing_ok=True)
             removed += 1
         return removed
@@ -256,7 +257,7 @@ class RunCache:
     def __len__(self) -> int:
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return len(list(self.root.glob("*/*.json")))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RunCache({str(self.root)!r}, {len(self)} entries)"

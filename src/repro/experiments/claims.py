@@ -14,7 +14,7 @@ about tendencies across its ten months.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from repro.experiments.config import ExperimentScale, current_scale
 from repro.experiments.figures import HIGH_LOAD
@@ -39,7 +39,7 @@ class ClaimContext:
     months: list[str]
     runs: dict[tuple[str, str], PolicyRun]  # (policy key, month) -> run
     thresholds: dict[str, float]  # month -> FCFS-BF max-wait threshold (s)
-    extras: dict = field(default_factory=dict)
+    extras: dict[str, Any] = field(default_factory=dict)
 
     def series(self, policy: str, metric: Callable[[PolicyRun], float]) -> list[float]:
         return [metric(self.runs[(policy, m)]) for m in self.months]
@@ -292,7 +292,7 @@ def evaluate_claims(context: ClaimContext) -> list[ClaimResult]:
         report = context.extras["optgap"]
         low_l, top_l = report["budgets"][0], report["budgets"][-1]
 
-        def gap_row(algorithm: str, limit: int) -> dict:
+        def gap_row(algorithm: str, limit: int) -> dict[str, Any]:
             (row,) = [
                 r
                 for r in report["rows"]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.core.search_tree import (
     dds_order,
@@ -412,7 +412,7 @@ def fig6_node_limit(
     fcfs_run, lxf_run, dds_runs = results[0], results[1], results[2:]
     t_max, _ = reference_thresholds(fcfs_run.jobs)
 
-    def row(value_fn) -> dict[str, list[float]]:
+    def row(value_fn: Callable[[PolicyRun], float]) -> dict[str, list[float]]:
         return {
             "FCFS-BF": [value_fn(fcfs_run)] * len(limits),
             "LXF-BF": [value_fn(lxf_run)] * len(limits),

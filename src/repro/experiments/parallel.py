@@ -47,7 +47,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from functools import lru_cache
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.experiments.cache import CACHE_VERSION, RunCache
 from repro.experiments.runner import PolicyRun, simulate
@@ -230,7 +230,7 @@ class FailureLedger:
     def unrecovered(self) -> list[FailureRecord]:
         return [r for r in self.records if not r.recovered]
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, Any]:
         return {
             "retry_budget": self.retry_budget,
             "failed_cells": len(self.records),
@@ -252,7 +252,7 @@ class FailureLedger:
             ],
         }
 
-    def write(self, path) -> "Path":
+    def write(self, path: "str | Path") -> "Path":
         """Atomically persist the ledger as JSON; returns the path."""
         from repro.util.atomio import atomic_write_json
 
@@ -262,7 +262,7 @@ class FailureLedger:
 # ----------------------------------------------------------------------
 # Cache keys
 # ----------------------------------------------------------------------
-def _workload_fingerprint(workload: "WorkloadSpec | Workload") -> dict:
+def _workload_fingerprint(workload: "WorkloadSpec | Workload") -> dict[str, Any]:
     if isinstance(workload, WorkloadSpec):
         return {"kind": "synthetic", **asdict(workload)}
     digest = hashlib.sha256()
@@ -284,7 +284,7 @@ def _workload_fingerprint(workload: "WorkloadSpec | Workload") -> dict:
     }
 
 
-def cache_payload(spec: RunSpec) -> dict | None:
+def cache_payload(spec: RunSpec) -> dict[str, Any] | None:
     """The spec's full cache-key contents, or ``None`` if uncacheable.
 
     A cell is cacheable iff its policy is a declarative :class:`PolicySpec`

@@ -16,10 +16,12 @@ from repro.experiments import figures as fig_mod
 from repro.experiments import parallel
 from repro.experiments.claims import build_context, evaluate_claims, render_claims
 from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.figures import FigureSeries
 from repro.util.atomio import atomic_write_text
 
-#: Every reproducible artifact, in report order.
-ARTIFACTS: tuple[tuple[str, Callable], ...] = (
+#: Every reproducible artifact, in report order.  Each callable takes the
+#: active :class:`ExperimentScale` and yields a renderable figure/table.
+ARTIFACTS: tuple[tuple[str, Callable[..., FigureSeries]], ...] = (
     ("table3", fig_mod.table3_job_mix),
     ("table4", fig_mod.table4_runtimes),
     ("fig1", lambda exp: fig_mod.fig1_tree()),

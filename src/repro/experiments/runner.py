@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+if TYPE_CHECKING:  # cache.py imports runner; type-only to avoid the cycle
+    from repro.experiments.cache import RunCache
 
 from repro.metrics.excessive import ExcessiveWaitStats, excessive_wait_stats
 from repro.metrics.measures import JobMetrics, compute_metrics
@@ -31,7 +34,7 @@ class PolicyRun:
     avg_queue_length: float
     utilization: float
     jobs: list[Job]  # in-window completed jobs (for class grids, excess)
-    policy_stats: dict = field(default_factory=dict)
+    policy_stats: dict[str, Any] = field(default_factory=dict)
     wall_seconds: float = 0.0
 
     def excessive(self, threshold_seconds: float) -> ExcessiveWaitStats:
@@ -112,7 +115,7 @@ def run_matrix(
     workloads: Sequence[Workload],
     policies: Mapping[str, PolicyFactory],
     max_workers: int | None = 1,
-    cache=None,
+    cache: "RunCache | None" = None,
 ) -> dict[tuple[str, str], PolicyRun]:
     """Simulate every policy on every workload.
 

@@ -2,8 +2,10 @@
 
 Run as ``python -m repro.lint [paths...]`` or through
 ``tests/test_simlint.py`` (which also keeps the real tree clean in CI).
-See :mod:`repro.lint.rules` for the rule set and
-:mod:`repro.lint.engine` for suppression syntax.
+See :mod:`repro.lint.rules` for the syntactic rule set (SIM001-SIM005),
+:mod:`repro.lint.flowrules` for the dataflow rules (SIM006-SIM010) built
+on :mod:`repro.lint.cfg` / :mod:`repro.lint.dataflow`, and
+:mod:`repro.lint.engine` for suppression and baseline syntax.
 """
 
 from repro.lint.engine import (
@@ -13,6 +15,14 @@ from repro.lint.engine import (
     lint_source,
     main,
 )
+from repro.lint.output import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    render_json,
+    render_sarif,
+    write_baseline,
+)
 from repro.lint.rules import RULES, RULES_BY_ID, Rule
 
 __all__ = [
@@ -20,8 +30,14 @@ __all__ = [
     "Rule",
     "RULES",
     "RULES_BY_ID",
+    "apply_baseline",
+    "fingerprint",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "main",
+    "render_json",
+    "render_sarif",
+    "write_baseline",
 ]

@@ -1,0 +1,434 @@
+"""Intraprocedural dataflow on top of :mod:`repro.lint.cfg`.
+
+Three layers, each consumed by the flow rules in
+:mod:`repro.lint.flowrules`:
+
+1. :class:`FunctionDataflow` — reaching definitions over one function's
+   CFG, giving per-element **def-use chains**: for any name read at an
+   element, the set of :class:`Definition`\\ s that may supply its value.
+2. :class:`TaintAnalysis` — a generic forward taint engine parameterised
+   by a :class:`TaintPolicy` (what is a *source*, what *sanitizes*, how
+   taint moves through expressions).  It runs to a fixpoint over the
+   def-use chains, so taint survives laundering through any number of
+   local assignments, loops and branches.
+3. :func:`local_tainted_returns` — a **one-level call graph**: module-local
+   functions whose return value is tainted become sources at their call
+   sites (``def _stamp(): return time.time()`` taints ``x = _stamp()``).
+
+Everything here is deliberately conservative: unknown calls propagate
+their arguments' taint, branches union, and exception edges come from the
+CFG's over-approximation.  A lint pass would rather review one safe line
+too many than miss a nondeterminism bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from repro.lint.cfg import CFG, Element, build_cfg
+
+__all__ = [
+    "Definition",
+    "FunctionDataflow",
+    "FunctionUnit",
+    "TaintPolicy",
+    "TaintAnalysis",
+    "analyze_module",
+    "local_tainted_returns",
+    "dotted_name",
+]
+
+#: Resolver signature: Name/Attribute chain -> dotted origin (or None).
+Resolver = Callable[[ast.expr], "str | None"]
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """The literal dotted text of a Name/Attribute chain (no alias lookup)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One binding of ``name``: where it happened and what value fed it."""
+
+    name: str
+    element: Element | None  # None for parameters
+    value: ast.AST | None  # assigned expr / For / FunctionDef / None
+
+    @property
+    def lineno(self) -> int:
+        if self.element is not None:
+            return self.element.lineno
+        return getattr(self.value, "lineno", 0)
+
+
+#: Reaching state: name -> the definitions that may currently supply it.
+State = dict[str, frozenset]
+
+
+class FunctionDataflow:
+    """Reaching definitions + def-use chains for one function body."""
+
+    def __init__(
+        self,
+        body: Sequence[ast.stmt],
+        args: ast.arguments | None = None,
+        name: str = "<module>",
+    ) -> None:
+        self.name = name
+        self.cfg: CFG = build_cfg(body)
+        self.param_defs: dict[str, Definition] = {}
+        if args is not None:
+            for arg in [
+                *args.posonlyargs,
+                *args.args,
+                *([args.vararg] if args.vararg else []),
+                *args.kwonlyargs,
+                *([args.kwarg] if args.kwarg else []),
+            ]:
+                self.param_defs[arg.arg] = Definition(arg.arg, None, arg)
+        self._pre: dict[tuple[int, int], State] = {}
+        self._compute()
+
+    # ------------------------------------------------------------------
+    def _transfer(self, state: State, element: Element) -> State:
+        if not element.defs:
+            return state
+        state = dict(state)
+        for def_name, value in element.defs:
+            definition = Definition(def_name, element, value)
+            state[def_name] = frozenset([definition])
+        return state
+
+    def _compute(self) -> None:
+        blocks = self.cfg.blocks
+        entry_state: State = {
+            name: frozenset([definition])
+            for name, definition in self.param_defs.items()
+        }
+        in_states: dict[int, State] = {self.cfg.entry: entry_state}
+        out_states: dict[int, State] = {}
+        worklist = sorted(blocks)
+        while worklist:
+            block_id = worklist.pop(0)
+            block = blocks[block_id]
+            merged: State = dict(in_states.get(block_id, {}))
+            for pred in sorted(block.predecessors):
+                for name, defs in out_states.get(pred, {}).items():
+                    merged[name] = merged.get(name, frozenset()) | defs
+            if block_id == self.cfg.entry:
+                for name, defs in entry_state.items():
+                    merged[name] = merged.get(name, frozenset()) | defs
+            in_states[block_id] = merged
+            state = merged
+            for index, element in enumerate(block.elements):
+                self._pre[(block_id, index)] = state
+                state = self._transfer(state, element)
+            if out_states.get(block_id) != state:
+                out_states[block_id] = state
+                for succ in sorted(block.successors):
+                    if succ not in worklist:
+                        worklist.append(succ)
+        self._positions = {
+            id(element): (block_id, index)
+            for block_id in blocks
+            for index, element in enumerate(blocks[block_id].elements)
+        }
+
+    # ------------------------------------------------------------------
+    def elements(self) -> Iterator[Element]:
+        yield from self.cfg.elements()
+
+    def reaching(self, element: Element) -> State:
+        """The reaching-definition state just *before* ``element`` runs."""
+        position = self._positions.get(id(element))
+        if position is None:
+            return {}
+        return self._pre.get(position, {})
+
+    def defs_of(self, element: Element, name: str) -> frozenset:
+        """Definitions that may supply ``name`` as read at ``element``."""
+        return self.reaching(element).get(name, frozenset())
+
+
+@dataclass
+class FunctionUnit:
+    """One analyzable body: the module itself, or any (nested) function."""
+
+    name: str
+    node: "ast.FunctionDef | ast.AsyncFunctionDef | None"
+    dataflow: FunctionDataflow
+    is_module: bool
+    #: Enclosing unit, for nested defs (None for the module unit).
+    parent: "FunctionUnit | None" = None
+
+
+def analyze_module(tree: ast.Module) -> list[FunctionUnit]:
+    """Dataflow units for the module body and every function in it."""
+    units: list[FunctionUnit] = []
+    module_unit = FunctionUnit(
+        "<module>", None, FunctionDataflow(tree.body), is_module=True
+    )
+    units.append(module_unit)
+
+    def visit(node: ast.AST, parent: FunctionUnit) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                unit = FunctionUnit(
+                    child.name,
+                    child,
+                    FunctionDataflow(child.body, child.args, child.name),
+                    is_module=False,
+                    parent=parent,
+                )
+                units.append(unit)
+                visit(child, unit)
+            elif isinstance(child, ast.Lambda):
+                continue  # opaque: lambdas are values, not analyzed bodies
+            else:
+                visit(child, parent)
+
+    visit(tree, module_unit)
+    return units
+
+
+# ----------------------------------------------------------------------
+# Taint
+# ----------------------------------------------------------------------
+class TaintPolicy:
+    """What a taint domain considers a source / sanitizer / propagation.
+
+    Subclass per rule family; every hook returns a human-readable *reason*
+    string (kept in the finding message) or ``None``.
+    """
+
+    def call_source(self, resolved: str | None, call: ast.Call) -> str | None:
+        """Is calling ``resolved`` a source?  (e.g. ``time.time``)"""
+        return None
+
+    def expr_source(self, expr: ast.expr, resolve: Resolver) -> str | None:
+        """Is this non-call expression a source?  (e.g. a set literal)"""
+        return None
+
+    def def_source(
+        self, name: str, value: "ast.AST | None", unit: FunctionUnit
+    ) -> str | None:
+        """Is a non-expression binding a source?  (e.g. a nested def)"""
+        return None
+
+    def is_sanitizer(self, resolved: "str | None", call: ast.Call) -> bool:
+        """Does this call scrub taint regardless of its arguments?"""
+        return False
+
+    def propagate_compare(self) -> bool:
+        """Whether comparison results carry taint (bool results often don't)."""
+        return True
+
+    def propagate_iteration(self, reason: "str | None") -> "str | None":
+        """Taint of a loop variable given the iterable's taint."""
+        return reason
+
+    def propagate_elements(self) -> bool:
+        """Whether a container is tainted by its element expressions.
+
+        True for value taints (a list of tainted values is tainted); False
+        for *order* taints — ``{k: frozenset(...)}`` iterates in insertion
+        order no matter how unordered its values are.
+        """
+        return True
+
+
+@dataclass
+class TaintAnalysis:
+    """Fixpoint taint over one function's def-use chains."""
+
+    unit: FunctionUnit
+    policy: TaintPolicy
+    resolve: Resolver
+    #: Module-local functions whose return value is a source.
+    local_sources: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._def_taint: dict[Definition, str | None] = {}
+        self._run()
+
+    # -- public queries -------------------------------------------------
+    def name_taint(self, element: Element, name: str) -> str | None:
+        """Taint reason for ``name`` as read at ``element``, if any."""
+        return self._lookup(self.unit.dataflow.reaching(element), name)
+
+    def expr_taint(self, expr: ast.expr, element: Element) -> str | None:
+        """Taint reason of an expression evaluated at ``element``."""
+        env = self.unit.dataflow.reaching(element)
+        return self._eval(expr, env, {})
+
+    # -- fixpoint -------------------------------------------------------
+    def _run(self) -> None:
+        flow = self.unit.dataflow
+        for _round in range(16):  # monotone: None -> reason only
+            changed = False
+            for element in flow.elements():
+                env = flow.reaching(element)
+                for def_name, value in element.defs:
+                    definition = Definition(def_name, element, value)
+                    if self._def_taint.get(definition) is not None:
+                        continue
+                    reason = self._def_value_taint(definition, env)
+                    if reason is not None:
+                        self._def_taint[definition] = reason
+                        changed = True
+            if not changed:
+                return
+
+    def _def_value_taint(self, definition: Definition, env: State) -> str | None:
+        value = definition.value
+        if value is None:
+            return None  # `del` (pure kill) or bare annotation
+        if isinstance(value, (ast.For, ast.AsyncFor)):
+            return self.policy.propagate_iteration(
+                self._eval(value.iter, env, {})
+            )
+        if isinstance(value, ast.AugAssign):
+            taint = self._eval(value.value, env, {})
+            if taint is None:
+                taint = self._lookup(env, definition.name)
+            return taint
+        if isinstance(value, ast.expr):
+            return self._eval(value, env, {})
+        # Non-expression bindings: defs, imports, except handlers, match
+        # captures — only a policy hook can make these sources.
+        return self.policy.def_source(definition.name, value, self.unit)
+
+    # -- expression evaluation ------------------------------------------
+    def _lookup(self, env: State, name: str) -> str | None:
+        # Sorted so the winning reason is stable: the frozenset hashes
+        # identity-keyed Definitions, whose order varies across runs.
+        defs = sorted(
+            env.get(name, frozenset()), key=lambda d: (d.lineno, d.name)
+        )
+        for definition in defs:
+            reason = self._def_taint.get(definition)
+            if reason is not None:
+                return reason
+        return None
+
+    def _eval(
+        self, expr: ast.expr, env: State, comp_env: dict[str, "str | None"]
+    ) -> str | None:
+        policy = self.policy
+        source = policy.expr_source(expr, self.resolve)
+        if source is not None:
+            return source
+        if isinstance(expr, ast.Constant):
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id in comp_env:
+                return comp_env[expr.id]
+            return self._lookup(env, expr.id)
+        if isinstance(expr, ast.Call):
+            resolved = self.resolve(expr.func)
+            if policy.is_sanitizer(resolved, expr):
+                return None
+            reason = policy.call_source(resolved, expr)
+            if reason is not None:
+                return reason
+            if (
+                isinstance(expr.func, ast.Name)
+                and expr.func.id in self.local_sources
+            ):
+                return self.local_sources[expr.func.id]
+            for sub in [expr.func, *expr.args, *[k.value for k in expr.keywords]]:
+                reason = self._eval(sub, env, comp_env)
+                if reason is not None:
+                    return reason
+            return None
+        if isinstance(expr, ast.Lambda):
+            return None  # a value, not an evaluation of its body
+        if isinstance(expr, ast.Compare):
+            if not policy.propagate_compare():
+                return None
+            for sub in [expr.left, *expr.comparators]:
+                reason = self._eval(sub, env, comp_env)
+                if reason is not None:
+                    return reason
+            return None
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            inner = dict(comp_env)
+            carried: str | None = None
+            for generator in expr.generators:
+                iter_taint = self._eval(generator.iter, env, inner)
+                element_taint = self.policy.propagate_iteration(iter_taint)
+                for target_name in _comp_target_names(generator.target):
+                    inner[target_name] = element_taint
+                if iter_taint is not None and carried is None:
+                    carried = iter_taint
+                for condition in generator.ifs:
+                    self._eval(condition, env, inner)
+            if policy.propagate_elements():
+                subs = (
+                    (expr.key, expr.value)
+                    if isinstance(expr, ast.DictComp)
+                    else (expr.elt,)
+                )
+                for sub in subs:
+                    reason = self._eval(sub, env, inner)
+                    if reason is not None:
+                        return reason
+            # A container built from an order-tainted iterable inherits
+            # the iterable's taint even when its elements are clean.
+            return carried
+        if isinstance(expr, ast.NamedExpr):
+            return self._eval(expr.value, env, comp_env)
+        if (
+            isinstance(expr, (ast.List, ast.Tuple, ast.Dict))
+            and not policy.propagate_elements()
+        ):
+            return None  # literal containers iterate in element order
+        # Generic containers/operators: union over child expressions.
+        for sub in ast.iter_child_nodes(expr):
+            if isinstance(sub, ast.expr):
+                reason = self._eval(sub, env, comp_env)
+                if reason is not None:
+                    return reason
+        return None
+
+
+def _comp_target_names(target: ast.expr) -> Iterator[str]:
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            yield node.id
+
+
+def local_tainted_returns(
+    units: Sequence[FunctionUnit],
+    policy: TaintPolicy,
+    resolve: Resolver,
+) -> dict[str, str]:
+    """One-level call graph: module-level functions returning taint.
+
+    Parameters are assumed clean, so only functions that *originate* taint
+    qualify — which is exactly the laundering pattern (a local ``_now()``
+    helper wrapping ``time.time()``) the flow rules must see through.
+    """
+    tainted: dict[str, str] = {}
+    for unit in units:
+        if unit.node is None or unit.parent is None or not unit.parent.is_module:
+            continue
+        analysis = TaintAnalysis(unit, policy, resolve)
+        for element in unit.dataflow.elements():
+            node = element.node
+            if isinstance(node, ast.Return) and node.value is not None:
+                reason = analysis.expr_taint(node.value, element)
+                if reason is not None:
+                    tainted[unit.name] = f"{reason} via local {unit.name}()"
+                    break
+    return tainted

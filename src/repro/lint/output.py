@@ -1,0 +1,202 @@
+"""Machine-readable simlint output (JSON, SARIF) and the baseline file.
+
+The **baseline** is how a new rule lands gating without a fix-everything
+flag day: ``--write-baseline`` snapshots today's findings as content
+fingerprints, CI lints with ``--baseline`` so only *new* findings fail the
+build, and the debt list burns down visibly (every fixed line shrinks the
+file on the next ``--write-baseline``).
+
+A fingerprint is ``sha1(rule_id ":" stripped-source-line)`` paired with
+the file path — deliberately **line-number free**, so unrelated edits that
+shift a baselined finding up or down do not break the build, while any
+edit to the offending line itself (or a new copy of it) surfaces as a
+fresh finding.  Multiplicity is tracked: two identical offending lines in
+one file need a baseline count of two.
+
+SARIF output follows the 2.1.0 schema closely enough for GitHub code
+scanning and editor ingestion: one run, the full rule catalog under
+``tool.driver.rules``, one result per finding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from repro.lint.rules import RULES
+
+if TYPE_CHECKING:  # engine imports output; break the cycle for types only
+    from repro.lint.engine import Finding
+
+__all__ = [
+    "BaselineError",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "render_json",
+    "render_sarif",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+#: The baseline auto-discovered in the working directory when ``--baseline``
+#: is not given (and ``--no-baseline`` not set).
+DEFAULT_BASELINE = ".simlint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """A baseline file exists but cannot be interpreted."""
+
+
+def fingerprint(rule_id: str, source_line: str) -> str:
+    """Stable content fingerprint of one finding (line-number free)."""
+    text = f"{rule_id}:{source_line.strip()}"
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()[:16]
+
+
+def _normalize_path(path: str) -> str:
+    return Path(path).as_posix()
+
+
+def load_baseline(path: "str | Path") -> dict[str, Counter[str]]:
+    """Read a baseline file: path -> fingerprint -> allowed count."""
+    try:
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from None
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} is not a version-{BASELINE_VERSION} simlint baseline"
+        )
+    entries = raw.get("entries")
+    if not isinstance(entries, dict):
+        raise BaselineError(f"baseline {path} has no 'entries' table")
+    table: dict[str, Counter[str]] = {}
+    for file_path, prints in entries.items():
+        if not isinstance(prints, dict):
+            raise BaselineError(f"baseline {path}: malformed entry for {file_path}")
+        table[_normalize_path(file_path)] = Counter(
+            {str(fp): int(count) for fp, count in prints.items()}
+        )
+    return table
+
+
+def write_baseline(path: "str | Path", findings: Sequence["Finding"]) -> int:
+    """Snapshot ``findings`` as the new baseline; returns the entry count."""
+    entries: dict[str, Counter[str]] = {}
+    for finding in findings:
+        file_entries = entries.setdefault(_normalize_path(finding.path), Counter())
+        file_entries[finding.fingerprint] += 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "simlint baseline: pre-existing findings tolerated by --baseline. "
+            "Regenerate with --write-baseline; never hand-edit counts upward."
+        ),
+        "entries": {
+            file_path: dict(sorted(counter.items()))
+            for file_path, counter in sorted(entries.items())
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return sum(len(c) for c in entries.values())
+
+
+def apply_baseline(
+    findings: Sequence["Finding"], baseline: dict[str, Counter[str]]
+) -> tuple[list["Finding"], int]:
+    """Split findings into (new, baselined-count) under the baseline."""
+    budget = {path: Counter(counter) for path, counter in baseline.items()}
+    fresh: list["Finding"] = []
+    suppressed = 0
+    for finding in findings:
+        counter = budget.get(_normalize_path(finding.path))
+        if counter is not None and counter[finding.fingerprint] > 0:
+            counter[finding.fingerprint] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed
+
+
+# ----------------------------------------------------------------------
+# Renderers
+# ----------------------------------------------------------------------
+def render_json(findings: Sequence["Finding"], baselined: int = 0) -> str:
+    payload = {
+        "tool": "simlint",
+        "findings": [
+            {
+                "path": _normalize_path(f.path),
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule_id,
+                "message": f.message,
+                "fingerprint": f.fingerprint,
+            }
+            for f in findings
+        ],
+        "baselined": baselined,
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_sarif(findings: Sequence["Finding"], baselined: int = 0) -> str:
+    rules = [
+        {
+            "id": rule.rule_id,
+            "name": rule.title.title().replace(" ", "").replace("-", ""),
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in RULES
+    ]
+    results = [
+        {
+            "ruleId": f.rule_id,
+            "ruleIndex": next(
+                i for i, rule in enumerate(RULES) if rule.rule_id == f.rule_id
+            ),
+            "level": "error",
+            "message": {"text": f.message},
+            "partialFingerprints": {"simlint/v1": f.fingerprint},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _normalize_path(f.path),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    sarif = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": "docs/linting.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "properties": {"baselinedFindings": baselined},
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2)

@@ -34,7 +34,15 @@ import re
 from dataclasses import dataclass, field
 from typing import Iterator
 
-__all__ = ["LintContext", "Rule", "RULES", "run_rules"]
+__all__ = [
+    "LintContext",
+    "RawFinding",
+    "Rule",
+    "RULES",
+    "RULES_BY_ID",
+    "build_context",
+    "run_rules",
+]
 
 
 @dataclass(frozen=True)
@@ -82,6 +90,43 @@ RULES: tuple[Rule, ...] = (
         "Event objects must come from EventQueue.push, whose seq counter "
         "makes simultaneous-event ordering deterministic",
         allowed_paths=("repro/simulator/events.py",),
+    ),
+    # -- flow-sensitive rules (repro.lint.flowrules) --------------------
+    Rule(
+        "SIM006",
+        "no determinism taint into scores/results",
+        "values from wall-clock, global RNG, os.environ or PID sources "
+        "must not flow (through any number of assignments) into search "
+        "scores, shard plans, or SearchResult fields",
+    ),
+    Rule(
+        "SIM007",
+        "no unordered iteration in replay paths",
+        "iterating a set or an unsorted os.listdir/glob result yields a "
+        "process-dependent order; wrap in sorted(...) so merges and "
+        "scores replay bit-identically",
+    ),
+    Rule(
+        "SIM008",
+        "no unpicklable values across process/checkpoint boundaries",
+        "lambdas, nested functions, generators, open handles and "
+        "module-level mutable state cannot round-trip through worker-pool "
+        "submissions or LoopState checkpoint snapshots",
+    ),
+    Rule(
+        "SIM009",
+        "blackboard access only under its lock",
+        "every read/write of the shared-memory incumbent blackboard must "
+        "sit inside `with board.get_lock():` — unlocked slot access races "
+        "the generation fence",
+    ),
+    Rule(
+        "SIM010",
+        "fault sites must come from the declared registry",
+        "faults.fire/should_fire call sites must name a literal from "
+        "repro.util.faults.SITES, otherwise a chaos plan can silently "
+        "never fire",
+        allowed_paths=("repro/util/faults.py",),
     ),
 )
 
@@ -343,14 +388,26 @@ def _check_assignment(node: ast.AST, ctx: LintContext) -> Iterator[RawFinding]:
 # ----------------------------------------------------------------------
 # Single-pass driver
 # ----------------------------------------------------------------------
-def run_rules(tree: ast.AST) -> list[RawFinding]:
-    """Apply every rule over ``tree``.
+def build_context(tree: ast.AST) -> LintContext:
+    """A :class:`LintContext` with the module's full import-alias table."""
+    ctx = LintContext()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            ctx.record_import(node)
+    return ctx
+
+
+def run_rules(tree: ast.AST, ctx: LintContext | None = None) -> list[RawFinding]:
+    """Apply every *syntactic* rule (SIM001-SIM005) over ``tree``.
 
     Imports are recorded in a first pass so the alias table is complete
     regardless of where in the file (or how deep in a function) an import
-    statement sits relative to the code that uses it.
+    statement sits relative to the code that uses it.  The flow-sensitive
+    rules live in :func:`repro.lint.flowrules.run_flow_rules` and share
+    the same ``ctx``.
     """
-    ctx = LintContext()
+    if ctx is None:
+        ctx = LintContext()
     findings: list[RawFinding] = []
     for node in ast.walk(tree):
         if isinstance(node, (ast.Import, ast.ImportFrom)):

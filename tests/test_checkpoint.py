@@ -130,9 +130,9 @@ def test_resume_survives_a_corrupt_newest_snapshot(tmp_path):
 def test_resumed_run_keeps_checkpointing(tmp_path):
     """A resumed run carries its config and keeps snapshotting forward."""
     _interrupted_run(tmp_path, after=120)
-    before = {p.name for p in tmp_path.glob("ckpt-*.pkl")}
+    before = {p.name for p in sorted(tmp_path.glob("ckpt-*.pkl"))}
     resume_run(tmp_path)
-    after = {p.name for p in tmp_path.glob("ckpt-*.pkl")}
+    after = {p.name for p in sorted(tmp_path.glob("ckpt-*.pkl"))}
     assert after and after != before
 
 

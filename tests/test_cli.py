@@ -237,3 +237,31 @@ def test_all_examples_compile():
     assert len(examples) >= 7
     for path in examples:
         py_compile.compile(str(path), doraise=True)
+
+
+# ----------------------------------------------------------------------
+# repro lint
+# ----------------------------------------------------------------------
+def test_lint_subcommand_clean_src(capsys):
+    assert main(["lint", "src"]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_lint_subcommand_finds_and_formats(tmp_path, capsys):
+    import json
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nrandom.seed(0)\n")
+    assert main(["lint", "--no-baseline", "--format", "json", str(bad)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"][0]["rule"] == "SIM002"
+
+
+def test_lint_subcommand_baseline_passthrough(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nrandom.seed(0)\n")
+    baseline = tmp_path / "bl.json"
+    assert main(["lint", "--write-baseline", str(baseline), str(bad)]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--baseline", str(baseline), str(bad)]) == 0
+    assert "baselined" in capsys.readouterr().err

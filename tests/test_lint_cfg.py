@@ -1,0 +1,321 @@
+"""Unit tests for the simlint dataflow framework (cfg.py / dataflow.py).
+
+The shapes here are the ones intraprocedural analyses classically get
+wrong: joins, loops with break/continue, try/except/finally, walrus
+bindings (including inside comprehensions, where they escape to the
+enclosing scope), and nested function scoping.
+"""
+
+import ast
+
+import pytest
+
+from repro.lint.cfg import build_cfg
+from repro.lint.dataflow import (
+    FunctionDataflow,
+    TaintAnalysis,
+    TaintPolicy,
+    analyze_module,
+    dotted_name,
+    local_tainted_returns,
+)
+from repro.lint.rules import build_context
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def module_flow(source: str) -> FunctionDataflow:
+    tree = ast.parse(source)
+    return FunctionDataflow(tree.body)
+
+
+def element_at(flow: FunctionDataflow, line: int):
+    """The CFG element whose statement starts at ``line``."""
+    for element in flow.elements():
+        if getattr(element.node, "lineno", None) == line:
+            return element
+    raise AssertionError(f"no element at line {line}")
+
+
+def def_lines(flow: FunctionDataflow, line: int, name: str) -> set[int]:
+    """Line numbers of the defs of ``name`` reaching the element at ``line``."""
+    element = element_at(flow, line)
+    return {d.lineno for d in flow.defs_of(element, name)}
+
+
+# ----------------------------------------------------------------------
+# Reaching definitions: straight-line, joins, loops
+# ----------------------------------------------------------------------
+def test_straight_line_strong_update():
+    flow = module_flow("x = 1\nx = 2\ny = x\n")
+    assert def_lines(flow, 3, "x") == {2}
+
+
+def test_if_else_join_keeps_both_defs():
+    src = "x = 1\nif cond:\n    x = 2\nelse:\n    x = 3\nuse(x)\n"
+    flow = module_flow(src)
+    assert def_lines(flow, 6, "x") == {3, 5}
+
+
+def test_if_without_else_keeps_fallthrough_def():
+    src = "x = 1\nif cond:\n    x = 2\nuse(x)\n"
+    flow = module_flow(src)
+    assert def_lines(flow, 4, "x") == {1, 3}
+
+
+def test_while_loop_back_edge():
+    # Inside the loop body both the pre-loop def and the previous
+    # iteration's def reach.
+    src = "x = 1\nwhile cond:\n    use(x)\n    x = 2\n"
+    flow = module_flow(src)
+    assert def_lines(flow, 3, "x") == {1, 4}
+
+
+def test_break_and_loop_exit_defs_both_reach():
+    src = (
+        "x = 0\n"
+        "while cond:\n"
+        "    if stop:\n"
+        "        x = 1\n"
+        "        break\n"
+        "    x = 2\n"
+        "use(x)\n"
+    )
+    flow = module_flow(src)
+    assert def_lines(flow, 7, "x") == {1, 4, 6}
+
+
+def test_continue_skips_rest_of_body():
+    src = (
+        "x = 0\n"
+        "for i in items:\n"
+        "    if skip:\n"
+        "        continue\n"
+        "    x = 1\n"
+        "use(x)\n"
+    )
+    flow = module_flow(src)
+    assert def_lines(flow, 6, "x") == {1, 5}
+
+
+def test_for_target_is_a_definition():
+    flow = module_flow("for i in items:\n    use(i)\n")
+    assert def_lines(flow, 2, "i") == {1}
+
+
+# ----------------------------------------------------------------------
+# try / except / finally
+# ----------------------------------------------------------------------
+def test_handler_sees_partial_try_body():
+    # The exception may fire before x = 2 ran, so both defs reach.
+    src = (
+        "x = 1\n"
+        "try:\n"
+        "    x = 2\n"
+        "    risky()\n"
+        "except ValueError:\n"
+        "    use(x)\n"
+    )
+    flow = module_flow(src)
+    assert def_lines(flow, 6, "x") == {1, 3}
+
+
+def test_finally_joins_body_and_handler_defs():
+    src = (
+        "x = 1\n"
+        "try:\n"
+        "    x = 2\n"
+        "except ValueError:\n"
+        "    x = 3\n"
+        "finally:\n"
+        "    use(x)\n"
+    )
+    flow = module_flow(src)
+    # Normal completion (x=2, line 3), the handler (x=3, line 5), and the
+    # unhandled-exception pass-through carrying the pre-try def (line 1)
+    # all join at the finally.
+    assert def_lines(flow, 7, "x") == {1, 3, 5}
+
+
+def test_except_handler_name_is_bound():
+    src = "try:\n    risky()\nexcept ValueError as exc:\n    use(exc)\n"
+    flow = module_flow(src)
+    assert def_lines(flow, 4, "exc") == {3}
+
+
+def test_code_after_terminated_try_body_still_flows_through_finally():
+    src = (
+        "x = 1\n"
+        "try:\n"
+        "    raise ValueError\n"
+        "finally:\n"
+        "    x = 2\n"
+        "use(x)\n"
+    )
+    flow = module_flow(src)
+    # The body always raises, so `use` is really unreachable — the CFG
+    # conservatively keeps the fall-through alive, and the finally's own
+    # def (line 5) is what reaches it (the pre-try def is killed).
+    assert def_lines(flow, 6, "x") == {5}
+
+
+# ----------------------------------------------------------------------
+# Walrus and comprehensions
+# ----------------------------------------------------------------------
+def test_walrus_in_condition_binds():
+    src = "if (n := get()) > 0:\n    use(n)\n"
+    flow = module_flow(src)
+    assert def_lines(flow, 2, "n") == {1}
+
+
+def test_walrus_inside_comprehension_escapes_to_enclosing_scope():
+    # PEP 572: the comprehension's `for` target stays local, but a walrus
+    # inside it binds in the containing scope.
+    src = "vals = [(v := f(x)) for x in items]\nuse(v)\nuse(x)\n"
+    flow = module_flow(src)
+    assert def_lines(flow, 2, "v") == {1}
+    assert def_lines(flow, 3, "x") == set()
+
+
+def test_augassign_reads_and_writes():
+    flow = module_flow("x = 1\nx += 2\nuse(x)\n")
+    assert def_lines(flow, 3, "x") == {2}
+    # The AugAssign itself reads the prior def.
+    assert def_lines(flow, 2, "x") == {1}
+
+
+# ----------------------------------------------------------------------
+# Nested defs and module analysis
+# ----------------------------------------------------------------------
+def test_analyze_module_yields_nested_units_with_parents():
+    src = (
+        "def outer():\n"
+        "    def inner():\n"
+        "        return 1\n"
+        "    return inner\n"
+        "def other():\n"
+        "    return 2\n"
+    )
+    units = analyze_module(ast.parse(src))
+    by_name = {u.name: u for u in units}
+    assert by_name["<module>"].is_module
+    assert by_name["outer"].parent is by_name["<module>"]
+    assert by_name["inner"].parent is by_name["outer"]
+    assert by_name["other"].parent is by_name["<module>"]
+    assert len(units) == 4
+
+
+def test_function_params_are_definitions():
+    src = "def f(a, b=1, *args, c, **kw):\n    return a\n"
+    units = analyze_module(ast.parse(src))
+    f = next(u for u in units if u.name == "f")
+    assert set(f.dataflow.param_defs) == {"a", "b", "args", "c", "kw"}
+
+
+def test_dotted_name_resolution():
+    expr = ast.parse("a.b.c", mode="eval").body
+    assert dotted_name(expr) == "a.b.c"
+    call = ast.parse("f(x).y", mode="eval").body
+    assert dotted_name(call) is None
+
+
+def test_cfg_every_element_reachable_once():
+    src = "a = 1\nif a:\n    b = 2\nelse:\n    b = 3\nc = b\n"
+    cfg = build_cfg(ast.parse(src).body)
+    lines = [e.node.lineno for e in cfg.elements()]
+    assert sorted(lines) == [1, 2, 3, 5, 6]
+
+
+# ----------------------------------------------------------------------
+# Taint fixpoint
+# ----------------------------------------------------------------------
+class _DemoPolicy(TaintPolicy):
+    """src() taints; clean(...) scrubs."""
+
+    def call_source(self, resolved, call):
+        return "src()" if resolved == "src" else None
+
+    def is_sanitizer(self, resolved, call):
+        return resolved == "clean"
+
+
+def _module_taint(source: str) -> TaintAnalysis:
+    tree = ast.parse(source)
+    ctx = build_context(tree)
+    units = analyze_module(tree)
+    module = next(u for u in units if u.is_module)
+    return TaintAnalysis(module, _DemoPolicy(), ctx.resolve)
+
+
+def _taint_at(analysis: TaintAnalysis, line: int, name: str):
+    flow = analysis.unit.dataflow
+    for element in flow.elements():
+        if getattr(element.node, "lineno", None) == line:
+            return analysis.name_taint(element, name)
+    raise AssertionError(f"no element at line {line}")
+
+
+def test_direct_taint():
+    analysis = _module_taint("t = src()\nuse(t)\n")
+    assert _taint_at(analysis, 2, "t") == "src()"
+
+
+def test_taint_launders_through_assignments():
+    analysis = _module_taint("t = src()\nu = t\nv = u\nuse(v)\n")
+    assert _taint_at(analysis, 4, "v") == "src()"
+
+
+def test_sanitizer_scrubs():
+    analysis = _module_taint("t = src()\nu = clean(t)\nuse(u)\n")
+    assert _taint_at(analysis, 3, "u") is None
+
+
+def test_reassignment_clears_taint():
+    analysis = _module_taint("t = src()\nt = 1\nuse(t)\n")
+    assert _taint_at(analysis, 3, "t") is None
+
+
+def test_taint_survives_augmented_assignment():
+    analysis = _module_taint("t = src()\nacc = 0\nacc += t\nuse(acc)\n")
+    assert _taint_at(analysis, 4, "acc") == "src()"
+
+
+def test_taint_joins_at_branches():
+    analysis = _module_taint(
+        "if cond:\n    t = src()\nelse:\n    t = 1\nuse(t)\n"
+    )
+    assert _taint_at(analysis, 5, "t") == "src()"
+
+
+def test_taint_through_loop_accumulator():
+    analysis = _module_taint(
+        "acc = 0\nfor i in items:\n    acc = acc + src()\nuse(acc)\n"
+    )
+    assert _taint_at(analysis, 4, "acc") == "src()"
+
+
+def test_local_tainted_returns_cross_function():
+    src = "def stamp():\n    return src()\ndef plain():\n    return 1\n"
+    tree = ast.parse(src)
+    ctx = build_context(tree)
+    units = analyze_module(tree)
+    tainted = local_tainted_returns(units, _DemoPolicy(), ctx.resolve)
+    assert "stamp" in tainted and "plain" not in tainted
+    assert "src()" in tainted["stamp"]
+
+
+def test_one_level_call_graph_taints_call_sites():
+    src = (
+        "def stamp():\n"
+        "    return src()\n"
+        "x = stamp()\n"
+        "use(x)\n"
+    )
+    tree = ast.parse(src)
+    ctx = build_context(tree)
+    units = analyze_module(tree)
+    local = local_tainted_returns(units, _DemoPolicy(), ctx.resolve)
+    module = next(u for u in units if u.is_module)
+    analysis = TaintAnalysis(module, _DemoPolicy(), ctx.resolve, local)
+    assert _taint_at(analysis, 4, "x") is not None

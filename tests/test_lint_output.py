@@ -1,0 +1,192 @@
+"""Machine-readable simlint output (JSON/SARIF) and the baseline workflow."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    apply_baseline,
+    fingerprint,
+    lint_source,
+    load_baseline,
+    main,
+    render_json,
+    render_sarif,
+    write_baseline,
+)
+from repro.lint.output import BaselineError
+
+DIRTY = "import time\nt = time.time()\nscore = 0.0\nscore += t\n"
+
+
+def _dirty_file(tmp_path, name="dirty.py", source=DIRTY):
+    path = tmp_path / name
+    path.write_text(source)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_is_line_number_free():
+    assert fingerprint("SIM001", "t = time.time()") == fingerprint(
+        "SIM001", "   t = time.time()   "
+    )
+
+
+def test_fingerprint_depends_on_rule_and_content():
+    assert fingerprint("SIM001", "x = 1") != fingerprint("SIM002", "x = 1")
+    assert fingerprint("SIM001", "x = 1") != fingerprint("SIM001", "x = 2")
+
+
+def test_findings_carry_fingerprints():
+    findings = lint_source(DIRTY)
+    assert findings and all(len(f.fingerprint) == 16 for f in findings)
+
+
+# ----------------------------------------------------------------------
+# Renderers
+# ----------------------------------------------------------------------
+def test_json_output_round_trips():
+    findings = lint_source(DIRTY, "pkg/mod.py")
+    payload = json.loads(render_json(findings, baselined=3))
+    assert payload["tool"] == "simlint"
+    assert payload["baselined"] == 3
+    assert len(payload["findings"]) == len(findings)
+    first = payload["findings"][0]
+    assert set(first) == {"path", "line", "col", "rule", "message", "fingerprint"}
+
+
+def test_sarif_output_is_valid_2_1_0():
+    findings = lint_source(DIRTY, "pkg/mod.py")
+    sarif = json.loads(render_sarif(findings))
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert "SIM001" in rule_ids and "SIM010" in rule_ids
+    for result in run["results"]:
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "pkg/mod.py"
+        assert location["region"]["startLine"] >= 1
+        assert result["partialFingerprints"]["simlint/v1"]
+
+
+# ----------------------------------------------------------------------
+# Baseline mechanics
+# ----------------------------------------------------------------------
+def test_baseline_round_trip_suppresses_known_findings(tmp_path):
+    findings = lint_source(DIRTY, "mod.py")
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, findings)
+    fresh, suppressed = apply_baseline(findings, load_baseline(baseline_path))
+    assert fresh == []
+    assert suppressed == len(findings)
+
+
+def test_baseline_does_not_cover_new_findings(tmp_path):
+    old = lint_source(DIRTY, "mod.py")
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, old)
+    grown = DIRTY + "import random\nrandom.seed(1)\n"
+    fresh, suppressed = apply_baseline(
+        lint_source(grown, "mod.py"), load_baseline(baseline_path)
+    )
+    assert suppressed == len(old)
+    assert fresh and all(f.line >= 5 for f in fresh)
+
+
+def test_baseline_multiplicity_budget(tmp_path):
+    # Two identical offending lines need a count of two: baselining one
+    # occurrence must not absorb a second copy of the same line.
+    one = lint_source("import time\nt = time.time()\n", "mod.py")
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, one)
+    two = lint_source("import time\nt = time.time()\nt = time.time()\n", "mod.py")
+    fresh, suppressed = apply_baseline(two, load_baseline(baseline_path))
+    sim001 = [f for f in fresh if f.rule_id == "SIM001"]
+    assert len(sim001) == 1  # exactly one of the two copies is new
+    assert suppressed >= 1
+
+
+def test_baseline_is_per_file(tmp_path):
+    findings = lint_source(DIRTY, "a.py")
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, findings)
+    moved = lint_source(DIRTY, "b.py")
+    fresh, suppressed = apply_baseline(moved, load_baseline(baseline_path))
+    assert suppressed == 0 and len(fresh) == len(moved)
+
+
+def test_malformed_baseline_raises(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text('{"version": 999}')
+    with pytest.raises(BaselineError):
+        load_baseline(bad)
+    bad.write_text("not json at all")
+    with pytest.raises(BaselineError):
+        load_baseline(bad)
+
+
+# ----------------------------------------------------------------------
+# CLI wiring
+# ----------------------------------------------------------------------
+def test_cli_write_then_use_baseline(tmp_path, capsys):
+    dirty = _dirty_file(tmp_path)
+    baseline = tmp_path / "bl.json"
+    assert main(["--write-baseline", str(baseline), str(dirty)]) == 0
+    capsys.readouterr()
+    assert main(["--baseline", str(baseline), str(dirty)]) == 0
+    assert "baselined" in capsys.readouterr().err
+
+
+def test_cli_baselined_file_fails_on_new_finding(tmp_path, capsys):
+    dirty = _dirty_file(tmp_path)
+    baseline = tmp_path / "bl.json"
+    assert main(["--write-baseline", str(baseline), str(dirty)]) == 0
+    dirty.write_text(DIRTY + "import random\nrandom.seed(1)\n")
+    capsys.readouterr()
+    assert main(["--baseline", str(baseline), str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "SIM002" in out and "random.seed" in out
+
+
+def test_cli_no_baseline_overrides(tmp_path, capsys):
+    dirty = _dirty_file(tmp_path)
+    baseline = tmp_path / "bl.json"
+    assert main(["--write-baseline", str(baseline), str(dirty)]) == 0
+    capsys.readouterr()
+    assert main(["--baseline", str(baseline), "--no-baseline", str(dirty)]) == 1
+
+
+def test_cli_default_baseline_discovery(tmp_path, capsys, monkeypatch):
+    dirty = _dirty_file(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    assert main(["--write-baseline", ".simlint-baseline.json", str(dirty)]) == 0
+    capsys.readouterr()
+    # No --baseline flag: the default file in the cwd is auto-discovered.
+    assert main([str(dirty)]) == 0
+    assert "baselined" in capsys.readouterr().err
+
+
+def test_cli_json_format(tmp_path, capsys):
+    dirty = _dirty_file(tmp_path)
+    assert main(["--format", "json", str(dirty)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "simlint" and payload["findings"]
+
+
+def test_cli_sarif_to_file(tmp_path, capsys):
+    dirty = _dirty_file(tmp_path)
+    out = tmp_path / "report.sarif"
+    assert main(["--format", "sarif", "--out", str(out), str(dirty)]) == 1
+    sarif = json.loads(out.read_text())
+    assert sarif["version"] == "2.1.0"
+    assert sarif["runs"][0]["results"]
+
+
+def test_finding_dataclass_fingerprint_not_in_ordering():
+    a = Finding("p.py", 1, 0, "SIM001", "m", "aaaa")
+    b = Finding("p.py", 1, 0, "SIM001", "m", "bbbb")
+    assert a == b  # fingerprint is compare-excluded

@@ -27,7 +27,8 @@ def _square(x: int) -> int:
 def _read_blackboard_slot(index: int) -> float:
     board = workerpool.worker_blackboard()
     assert board is not None, "initializer did not install the blackboard"
-    return float(board[index])
+    with board.get_lock():
+        return float(board[index])
 
 
 @pytest.fixture(autouse=True)
