@@ -5,8 +5,9 @@ time (paper §2.3), so this harness times one search over the fixed
 30-job decision point from :mod:`repro.experiments.bench` for the two
 flagship policies (DDS/lxf/dynB, LDS/fcfs/dynB) at L ∈ {1K, 10K, 100K},
 on both engines.  The ``"fast"`` engine must beat the ``"reference"``
-engine by ≥2x nodes/sec at L=10K *with bit-identical results* — the
-perf floor this repo's BENCH_search.json trajectory starts from.
+engine by :data:`FLOOR_RATIO` nodes/sec at L=10K *with bit-identical
+results* — the ratcheted perf floor of this repo's BENCH_search.json
+trajectory.
 
 Run directly (``pytest benchmarks/bench_search_hotpath.py``) or via the
 CLI report writer (``python -m repro bench``), which archives the same
@@ -21,6 +22,14 @@ from repro.core.search import DiscrepancySearch
 from repro.experiments.bench import POLICIES, _fingerprint, build_problem
 
 LIMITS = [1_000, 10_000, 100_000]
+
+#: The ratcheted speed floor: fast must beat reference by this factor at
+#: L=10K.  Ratchet workflow (docs/performance.md): measure the worst
+#: config's fast/reference ratio over several runs, subtract the shared
+#: runner's timing noise (~15%), and raise this floor to match — never
+#: lower it to make CI pass.  History: 2.0x (delta-kernel seed) → 3.0x
+#: (SoA flat-array profile + fused chain fold; worst measured ~3.5x).
+FLOOR_RATIO = 3.0
 
 
 @pytest.mark.parametrize("algorithm,heuristic", POLICIES)
@@ -38,8 +47,9 @@ def test_search_hotpath(benchmark, algorithm, heuristic, L, engine):
 
 
 @pytest.mark.parametrize("algorithm,heuristic", POLICIES)
-def test_fast_engine_2x_at_10k(benchmark, algorithm, heuristic):
-    """The acceptance floor: ≥2x nodes/sec at L=10K, identical results."""
+def test_fast_engine_floor_at_10k(benchmark, algorithm, heuristic):
+    """The ratcheted floor: ≥FLOOR_RATIO x nodes/sec at L=10K, identical
+    results."""
     problem = build_problem(heuristic)
     fast = DiscrepancySearch(algorithm, node_limit=10_000, engine="fast")
     reference = DiscrepancySearch(algorithm, node_limit=10_000, engine="reference")
@@ -51,8 +61,8 @@ def test_fast_engine_2x_at_10k(benchmark, algorithm, heuristic):
     best_ref = min(
         _timed(reference, problem, time.perf_counter) for _ in range(3)
     )
-    assert benchmark.stats["min"] * 2.0 <= best_ref, (
-        f"fast engine must be >=2x reference at L=10K: "
+    assert benchmark.stats["min"] * FLOOR_RATIO <= best_ref, (
+        f"fast engine must be >={FLOOR_RATIO}x reference at L=10K: "
         f"fast {benchmark.stats['min']:.4f}s vs reference {best_ref:.4f}s"
     )
 

@@ -353,8 +353,28 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.experiments.bench import write_bench
+    from repro.experiments.bench import check_bench, run_bench, write_bench
 
+    if args.check:
+        # Smoke mode: re-measure and judge against the committed report's
+        # tolerance band — nothing is overwritten (mirrors optgap --check).
+        committed_path = Path(args.out)
+        if not committed_path.exists():
+            raise CliError(f"no committed report at {committed_path} to check against")
+        committed = json.loads(committed_path.read_text())
+        fresh = run_bench(
+            quick=args.quick,
+            repeats=args.repeats,
+            search_workers=args.search_workers,
+            progress=print,
+        )
+        failures = check_bench(fresh, committed)
+        for failure in failures:
+            print(f"TOLERANCE FAIL: {failure}")
+        if failures:
+            return 1
+        print(f"within tolerance of {committed_path}")
+        return 0
     report = write_bench(
         args.out,
         quick=args.quick,
@@ -582,6 +602,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker count for the parallel-engine rows (bit-identity "
         "against the fast engine is asserted per config)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="re-measure and verify against the committed --out report's "
+        "tolerance band instead of overwriting it (exit 1 on violation)",
     )
     bench.set_defaults(func=cmd_bench)
 

@@ -226,6 +226,11 @@ class CriteriaEvaluator:
             raise ValueError("need at least one criterion")
         self.criteria = tuple(criteria)
         self.ctx = ctx
+        # ``extend`` runs once per search-tree node: prebinding each
+        # level's (term, accumulate) pair skips two attribute lookups per
+        # level per node.  Bound methods pickle by reference, so parallel
+        # dispatch of picklable evaluators is unaffected.
+        self._ops = tuple((c.term, c.accumulate) for c in self.criteria)
 
     def start(self) -> tuple[float, ...]:
         return tuple(c.initial for c in self.criteria)
@@ -235,8 +240,8 @@ class CriteriaEvaluator:
     ) -> tuple[float, ...]:
         ctx = self.ctx
         return tuple(
-            c.accumulate(a, c.term(job, begin, ctx))
-            for c, a in zip(self.criteria, acc)
+            accumulate(a, term(job, begin, ctx))
+            for (term, accumulate), a in zip(self._ops, acc)
         )
 
     def score(self, acc: tuple[float, ...], n_jobs: int) -> MultiScore:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core.objective import ScheduleScore
 from repro.core.search import SearchProblem, build_strategy, resolve_runtimes
 from repro.simulator.job import Job
 
@@ -45,12 +46,36 @@ def evaluate_order(
     search's (shared strategy).
     """
     rt = rt if rt is not None else resolve_runtimes(problem)
-    acc, extend, score_of, _ = build_strategy(problem, rt)
     # The undo-stack fast path places each candidate without copying the
     # profile; ``place`` computes the same earliest-fit start bit-for-bit
     # as ``earliest_start`` + ``reserve`` (see core/profile.py).
     profile = problem.profile.search_view()
     starts: dict[int, float] = {}
+    if problem.evaluator is None:
+        # Two-level delta path: same float operations in the same order
+        # as the tree search's kernel and the generic closures below, so
+        # the returned score is bit-identical to either (see
+        # core/deltascore.py for the association-order contract).
+        omega = problem.omega
+        floor = problem.objective.slowdown_floor
+        now = problem.now
+        place = profile.place
+        exc = slow = 0.0
+        try:
+            for job in order:
+                duration = rt[job.job_id]
+                start = place(job.nodes, duration, now)
+                starts[job.job_id] = start
+                wait = start - job.submit_time
+                e = wait - omega
+                if e > 0.0:
+                    exc += e
+                den = duration if duration >= floor else floor
+                slow += (wait + den) / den
+        finally:
+            profile.unwind()
+        return starts, ScheduleScore(exc, slow, len(order))
+    acc, extend, score_of, _ = build_strategy(problem, rt)
     try:
         for job in order:
             start = profile.place(job.nodes, rt[job.job_id], problem.now)

@@ -80,6 +80,18 @@ class ScheduleScore:
     Lower is better.  ``total_excessive_wait`` and ``total_slowdown`` are in
     seconds and dimensionless respectively; ``n_jobs`` allows reporting the
     average slowdown.
+
+    **Association-order contract.**  Both totals are left-to-right folds of
+    per-job terms in placement order: ``((t1 + t2) + t3) + ...`` starting
+    from ``+0.0``.  Floating-point addition is not associative, so every
+    producer of a ``ScheduleScore`` — the reference engine's tuple
+    accumulator, the fast engine's delta kernel, the numpy-vectorized chain
+    fold, and local search's ``evaluate_order`` — must use exactly this
+    association to keep scores bit-identical across engines (the
+    conformance suite asserts this).  ``avg_slowdown`` derives from
+    ``total_slowdown``, so agreement on the totals implies agreement on the
+    average.  See ``core/deltascore.py`` for why the delta kernel's
+    skip-add of non-positive excess terms preserves bit-identity.
     """
 
     total_excessive_wait: float

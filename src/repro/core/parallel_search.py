@@ -121,10 +121,23 @@ class _ShardRun(_FastSearchRun):
                 # stays empty unless this shard itself beats it.
                 self.best_score = shared
 
-    def _leaf(self, acc: tuple[float, ...]) -> None:
-        before = self.best_score
-        super()._leaf(acc)
-        if self._publish is not None and self.best_score is not before:
+    def _chain_allowance(self, m: int) -> int:
+        """The batched chain's budget slice, shard flavour: no first-leaf
+        exemption (iteration 0 already completed in the leader, so every
+        visit here is budget-checked), and blackboard sharing forces the
+        per-node path — its poll cadence is defined in node visits."""
+        if self._poll is not None:
+            return -1
+        limit = self.node_limit
+        if limit is None:
+            return m
+        left = limit - self.nodes_visited
+        if left >= m:
+            return m
+        return left if left > 0 else 0
+
+    def _on_improved(self) -> None:
+        if self._publish is not None:
             self._publish(self.best_score)
 
     def run_shard(self, iteration: int, path: tuple[int, ...], counted: int) -> None:
@@ -132,6 +145,79 @@ class _ShardRun(_FastSearchRun):
         run the subtree DFS.  Only the trailing ``counted`` placements are
         budget-checked and counted — the leading ones were counted by an
         earlier shard sharing the prefix and are pure state setup here."""
+        if self._ja is not None:
+            self._run_shard_delta(iteration, path, counted)
+        else:
+            self._run_shard_generic(iteration, path, counted)
+
+    def _run_shard_delta(
+        self, iteration: int, path: tuple[int, ...], counted: int
+    ) -> None:
+        """Path replay on the delta kernel: float accumulators, SoA reads,
+        starts into the flat path arrays (the subtree DFS continues them
+        at depth ``len(path)``)."""
+        nxt, prv = self._nxt, self._prv
+        nodes_a, rt_a = self._sa_nodes, self._sa_rt
+        submit, denom = self._sa_submit, self._sa_denom
+        place = self.profile.place
+        path_i, path_s = self._path_i, self._path_s
+        omega = self._omega
+        n = len(self._jobs)
+        lds = self.algorithm == "lds"
+        k_left = iteration  # LDS: discrepancy budget left along the path
+        level = 1  # DDS: 1-based tree level
+        exc, slow = self._acc0[0], self._acc0[1]
+        free = len(path) - counted
+        trail: list[int] = []
+        pruned = False
+        try:
+            for depth, pos in enumerate(path):
+                if depth >= free:
+                    self._check_budget()
+                    self.nodes_visited += 1
+                i = nxt[self._head]
+                for _ in range(pos):
+                    i = nxt[i]
+                pi, ni = prv[i], nxt[i]
+                nxt[pi] = ni
+                prv[ni] = pi
+                trail.append(i)
+                start = place(nodes_a[i], rt_a[i], self._now)
+                path_i[depth] = i
+                path_s[depth] = start
+                wait = start - submit[i]
+                e = wait - omega
+                if e > 0.0:
+                    exc += e
+                den = denom[i]
+                slow += (wait + den) / den
+                if lds:
+                    if pos:
+                        k_left -= 1
+                else:
+                    level += 1
+                if self.prune and self._prune_child2(exc, slow, n - depth - 1):
+                    pruned = True
+                    break
+            if not pruned:
+                d = len(path)
+                if lds:
+                    self._dfs_lds2(n - d, k_left, exc, slow, d)
+                else:
+                    self._dfs_dds2(n - d, iteration, level, exc, slow, d)
+        except _StopSearch:
+            self.limit_hit = True
+        finally:
+            for i in reversed(trail):
+                self.profile.unplace()
+                nxt[prv[i]] = i
+                prv[nxt[i]] = i
+
+    def _run_shard_generic(
+        self, iteration: int, path: tuple[int, ...], counted: int
+    ) -> None:
+        """Path replay on the generic tuple-accumulator path (custom
+        criteria evaluators)."""
         nxt, prv = self._nxt, self._prv
         jobs, rt = self._jobs, self._rt
         place = self.profile.place

@@ -50,6 +50,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 
 _EPS = TIME_EPS
 
+#: Opaque state snapshot returned by :meth:`SearchProfile.checkpoint`:
+#: copies of the breakpoint/free arrays plus the undo-stack depth.
+ProfileCheckpoint = tuple[list[float], list[int], int]
+
 
 @dataclass(frozen=True)
 class ReservationToken:
@@ -401,30 +405,34 @@ class AvailabilityProfile:
 
 
 class SearchProfile:
-    """Allocation-free availability profile for the discrepancy search.
+    """Allocation-light availability profile for the discrepancy search.
 
-    Same step function as :class:`AvailabilityProfile`, stored as flat
-    parallel slot arrays (``_t``/``_f`` hold each segment's breakpoint and
-    free count) threaded into a doubly-linked list (``_nx``/``_pv``, slot 0
-    is the sentinel head).  Unlinking and relinking a slot is O(1), so
-    creating or removing a breakpoint never pays the ``list.insert`` /
-    ``del`` memmove of the reference implementation; retired slots are
-    recycled through a free pool, so steady-state search places allocate
-    nothing but one small undo tuple.
+    Same step function as :class:`AvailabilityProfile`, stored as two flat
+    sorted parallel arrays — the struct-of-arrays layout of the search's
+    hot path: ``_t[i]`` is segment ``i``'s breakpoint and ``_f[i]`` its
+    free node count over ``[_t[i], _t[i+1])`` (the final segment extends
+    forever and always has all of capacity free).  The flat layout is what
+    makes :meth:`place` fast: the earliest-fit scan positions itself with
+    C-coded ``bisect`` instead of a Python pointer walk, the feasibility
+    check over a candidate window is a single ``min()`` over a slice, and
+    breakpoint creation/removal is ``list.insert``/``del`` — an
+    O(segments) C memmove that beats per-slot Python pointer surgery at
+    any realistic segment count.
 
     Mutation is strictly stack-shaped: :meth:`place` commits an earliest-fit
     reservation and pushes one frame onto the explicit undo stack;
     :meth:`unplace` pops the top frame and restores the previous state
     exactly.  This is the LIFO reserve/release discipline of the DFS made
     structural — out-of-order release is impossible by construction.
+    Undo frames record segment *positions*; they stay valid because the
+    LIFO discipline guarantees every later insertion is removed before an
+    earlier frame is popped.
 
-    :meth:`place` performs query, commit, and undo bookkeeping in a single
-    call with zero ``bisect``\\ s: the earliest-fit scan already lands on
-    the segment containing the start (the "hint" the reference path has to
-    re-derive), and the end breakpoint is found by continuing the same
-    walk.  Results are bit-identical to ``earliest_start`` + ``reserve`` on
-    the reference profile (the float arithmetic is the same operations in
-    the same order), which the differential property tests pin down.
+    Results are bit-identical to ``earliest_start`` + ``reserve`` on the
+    reference profile: the float arithmetic is the same operations in the
+    same order, and ``bisect`` performs exactly the comparisons the
+    reference's segment walk does.  The differential property tests pin
+    this down.
 
     The sanitizer hooks mirror the reference profile's: when debug-mode
     invariant checking is active, every place/unplace verifies structural
@@ -433,34 +441,30 @@ class SearchProfile:
     scope.
     """
 
-    __slots__ = ("capacity", "_t", "_f", "_nx", "_pv", "_pool", "_undo", "_sanitize")
+    __slots__ = ("capacity", "_t", "_f", "_undo", "_sanitize")
 
     def __init__(self, profile: AvailabilityProfile) -> None:
-        times, free = profile.times, profile.free
-        n = len(times)
         self.capacity = profile.capacity
-        # Slot 0 is the sentinel: "no slot" in links, never a segment.
-        self._t: list[float] = [0.0] + list(times)
-        self._f: list[int] = [0] + list(free)
-        self._nx: list[int] = list(range(1, n + 1)) + [0]
-        self._pv: list[int] = [n] + list(range(0, n))
-        self._pool: list[int] = []
-        #: LIFO frames: (start slot, end slot, nodes, created_start, created_end).
+        self._t: list[float] = list(profile.times)
+        self._f: list[int] = list(profile.free)
+        #: LIFO frames: (start pos, end pos, nodes, created_start, created_end).
         self._undo: list[tuple[int, int, int, bool, bool]] = []
         self._sanitize = sanitize_enabled()
-
-    # ------------------------------------------------------------------
-    def _new_slot(self) -> int:
-        self._t.append(0.0)
-        self._f.append(0)
-        self._nx.append(0)
-        self._pv.append(0)
-        return len(self._t) - 1
 
     @property
     def depth(self) -> int:
         """Number of un-popped :meth:`place` frames on the undo stack."""
         return len(self._undo)
+
+    @property
+    def sanitizing(self) -> bool:
+        """Whether this view runs debug-mode invariant checks per mutation.
+
+        Cached at construction (see the class docstring); callers that
+        batch mutations (:meth:`place_run`) must consult it and fall back
+        to per-call :meth:`place` so every check still runs.
+        """
+        return self._sanitize
 
     # ------------------------------------------------------------------
     def place(self, nodes: int, duration: float, earliest: float) -> float:
@@ -472,82 +476,71 @@ class SearchProfile:
         """
         if nodes > self.capacity:
             raise ValueError(f"{nodes} nodes exceeds capacity {self.capacity}")
-        t, f, nx, pv = self._t, self._f, self._nx, self._pv
+        t, f = self._t, self._f
         eps = _EPS
         occupied_before = (
             self._occupied_node_seconds() if self._sanitize else 0.0
         )
 
         # --- earliest-fit scan (same arithmetic as the reference) -------
-        i = nx[0]
-        cand = earliest if earliest > t[i] else t[i]
-        ni = nx[i]
-        while ni and t[ni] <= cand:
+        m = len(t)
+        cand = earliest if earliest > t[0] else t[0]
+        i = 0
+        ni = 1
+        while ni < m and t[ni] <= cand:
             i = ni
-            ni = nx[i]
+            ni += 1
         while True:
             if f[i] < nodes:
                 # Skip ahead to the next segment with enough free nodes;
                 # the final segment always has all of capacity free.
-                i = nx[i]
+                i += 1
                 while f[i] < nodes:
-                    i = nx[i]
+                    i += 1
                 cand = t[i]
             end = cand + duration
-            j = i
+            end_eps = end - eps
+            j = i + 1
             blocked = 0
-            nj = nx[j]
-            while nj and t[nj] < end - eps:
-                j = nj
+            while j < m and t[j] < end_eps:
                 if f[j] < nodes:
                     blocked = j
                     break
-                nj = nx[j]
+                j += 1
             if not blocked:
                 break
             i = blocked
             cand = t[blocked]
         start = cand
 
-        # --- start breakpoint (t[i] <= start < t[nx[i]] by the scan) ----
+        # --- start breakpoint (t[i] <= start < t[i + 1] by the scan) ----
         if start - t[i] <= eps:
             si = i
             created_start = False
         else:
-            si = self._pool.pop() if self._pool else self._new_slot()
-            t[si] = start
-            f[si] = f[i]
-            ni = nx[i]
-            nx[i] = si
-            pv[si] = i
-            nx[si] = ni
-            pv[ni] = si
+            si = i + 1
+            t.insert(si, start)
+            f.insert(si, f[i])
             created_start = True
+            m += 1
 
         # --- end breakpoint: continue the walk from the start slot ------
-        j = si
-        nj = nx[j]
-        while nj and t[nj] <= end:
-            j = nj
-            nj = nx[j]
+        j = si + 1
+        while j < m and t[j] <= end:
+            j += 1
+        j -= 1
         if end - t[j] <= eps:
             ej = j
             created_end = False
         else:
-            ej = self._pool.pop() if self._pool else self._new_slot()
-            t[ej] = end
-            f[ej] = f[j]
-            nx[j] = ej
-            pv[ej] = j
-            nx[ej] = nj
-            pv[nj] = ej
+            ej = j + 1
+            t.insert(ej, end)
+            f.insert(ej, f[j])
             created_end = True
 
-        # --- claim the nodes over [start slot, end slot) ----------------
-        k = si
-        while k != ej:
+        # --- claim the nodes over [start pos, end pos) ------------------
+        for k in range(si, ej):
             f[k] -= nodes
-            k = nx[k]
         self._undo.append((si, ej, nodes, created_start, created_end))
         if self._sanitize:
             self._sanitize_delta(
@@ -558,25 +551,20 @@ class SearchProfile:
     def unplace(self) -> None:
         """Pop the top :meth:`place` frame, restoring the profile exactly."""
         si, ej, nodes, created_start, created_end = self._undo.pop()
-        f, nx, pv = self._f, self._nx, self._pv
+        t, f = self._t, self._f
         occupied_before = (
             self._occupied_node_seconds() if self._sanitize else 0.0
         )
-        area = nodes * (self._t[ej] - self._t[si])
-        k = si
-        while k != ej:
+        area = nodes * (t[ej] - t[si])
+        for k in range(si, ej):
             f[k] += nodes
-            k = nx[k]
+        # Delete the end breakpoint first so the start position stays valid.
         if created_end:
-            p, n = pv[ej], nx[ej]
-            nx[p] = n
-            pv[n] = p
-            self._pool.append(ej)
+            del t[ej]
+            del f[ej]
         if created_start:
-            p, n = pv[si], nx[si]
-            nx[p] = n
-            pv[n] = p
-            self._pool.append(si)
+            del t[si]
+            del f[si]
         if self._sanitize:
             self._sanitize_delta(occupied_before, -area, "unplace")
 
@@ -584,6 +572,257 @@ class SearchProfile:
         """Pop every outstanding frame (back to the as-constructed state)."""
         while self._undo:
             self.unplace()
+
+    # ------------------------------------------------------------------
+    # Batched placement (the search's heuristic-completion chains)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> "ProfileCheckpoint":
+        """Snapshot the full profile state for :meth:`rollback`.
+
+        One O(segments) copy instead of one undo frame per subsequent
+        placement: the search's completion chains place tens of jobs and
+        then throw *all* of them away at once, so a bulk snapshot/restore
+        beats the per-place LIFO stack there (and nowhere else — for
+        single placements :meth:`place`/:meth:`unplace` stay cheaper).
+        """
+        return (self._t.copy(), self._f.copy(), len(self._undo))
+
+    def rollback(self, state: "ProfileCheckpoint") -> None:
+        """Restore a :meth:`checkpoint` exactly.
+
+        Any mix of :meth:`place`, :meth:`place_run` and :meth:`unplace`
+        since the snapshot is undone: the segment arrays and undo stack
+        return to their checkpointed state (in place, so locals bound to
+        the lists stay valid).  The restore is exact, not merely
+        equivalent.
+        """
+        t, f, depth = state
+        self._t[:] = t
+        self._f[:] = f
+        del self._undo[depth:]
+
+    def place_run(
+        self,
+        idxs: Sequence[int],
+        d0: int,
+        count: int,
+        nodes_arr: Sequence[int],
+        dur_arr: Sequence[float],
+        earliest: float,
+        starts_out: list[float],
+    ) -> None:
+        """Commit ``count`` earliest-fit placements in one tight loop.
+
+        Job ``j`` of the run (``j`` in ``[0, count)``) requests
+        ``nodes_arr[i]`` nodes for ``dur_arr[i]`` seconds, where
+        ``i = idxs[d0 + j]``; its start is written to ``starts_out[d0 + j]``.
+        Starts are bit-identical to ``count`` successive :meth:`place`
+        calls — the scan/commit arithmetic below is the same operations in
+        the same order — but **no undo frames are pushed**: the caller
+        must bracket the run with :meth:`checkpoint`/:meth:`rollback`.
+        Skips the sanitizer (callers check :attr:`sanitizing` and use
+        per-call :meth:`place` when it is on).
+        """
+        t, f = self._t, self._f
+        capacity = self.capacity
+        eps = _EPS
+        # Suffix minima of the run's node requests: ``suf[q]`` is the
+        # smallest request among jobs q..count-1.  Any segment whose free
+        # count is below ``suf[q]`` can never host a start (or sit inside
+        # a feasible window) for job q or any job after it, so the scan's
+        # skip-ahead may begin at the *frontier* — the first segment with
+        # ``f >= suf[q]`` — instead of re-walking the packed prefix for
+        # every placement.  The frontier only moves forward: free counts
+        # only decrease during a run (claims), breakpoint insertions only
+        # happen at or after it (every insertion position has
+        # ``f >= nodes >= suf[q]``), and ``suf`` is non-decreasing in q.
+        # The skipped segments are exactly ones the plain walk would
+        # reject, so starts are unchanged bit-for-bit.
+        suf = [0] * count
+        mv = capacity + 1
+        for q in range(count - 1, -1, -1):
+            v = nodes_arr[idxs[d0 + q]]
+            if v < mv:
+                mv = v
+            suf[q] = mv
+        fnf = 0
+        for d in range(d0, d0 + count):
+            idx = idxs[d]
+            nodes = nodes_arr[idx]
+            duration = dur_arr[idx]
+            if nodes > capacity:
+                raise ValueError(f"{nodes} nodes exceeds capacity {capacity}")
+            # The final segment always has all of capacity free, so the
+            # frontier walk stops before the end of the array.
+            thr = suf[d - d0]
+            while f[fnf] < thr:
+                fnf += 1
+
+            # --- earliest-fit scan (identical to place()) ---------------
+            m = len(t)
+            cand = earliest if earliest > t[0] else t[0]
+            i = 0
+            ni = 1
+            while ni < m and t[ni] <= cand:
+                i = ni
+                ni += 1
+            while True:
+                if f[i] < nodes:
+                    i = fnf if fnf > i + 1 else i + 1
+                    while f[i] < nodes:
+                        i += 1
+                    cand = t[i]
+                end = cand + duration
+                end_eps = end - eps
+                j = i + 1
+                blocked = 0
+                while j < m and t[j] < end_eps:
+                    if f[j] < nodes:
+                        blocked = j
+                        break
+                    j += 1
+                if not blocked:
+                    break
+                i = blocked
+                cand = t[blocked]
+            starts_out[d] = start = cand
+
+            # --- start breakpoint ---------------------------------------
+            if start - t[i] <= eps:
+                si = i
+            else:
+                si = i + 1
+                t.insert(si, start)
+                f.insert(si, f[i])
+                m += 1
+
+            # --- end breakpoint -----------------------------------------
+            j = si + 1
+            while j < m and t[j] <= end:
+                j += 1
+            j -= 1
+            if end - t[j] <= eps:
+                ej = j
+            else:
+                ej = j + 1
+                t.insert(ej, end)
+                f.insert(ej, f[j])
+
+            # --- claim the nodes over [start pos, end pos) --------------
+            for k in range(si, ej):
+                f[k] -= nodes
+
+    def place_run_fold(
+        self,
+        idxs: Sequence[int],
+        d0: int,
+        count: int,
+        nodes_arr: Sequence[int],
+        dur_arr: Sequence[float],
+        earliest: float,
+        starts_out: list[float],
+        submit: Sequence[float],
+        denom: Sequence[float],
+        omega: float,
+        exc: float,
+        slow: float,
+    ) -> tuple[float, float]:
+        """:meth:`place_run` fused with the two-level objective fold.
+
+        Placements are identical to :meth:`place_run`; in the same loop
+        iteration each job's ``(excessive wait, bounded slowdown)`` terms
+        are folded into ``(exc, slow)`` left-to-right — the association
+        order of ``repro.core.deltascore.fold_chain_terms``'s scalar path,
+        bit-for-bit — and the final accumulators are returned.  Fusing
+        skips a second pass over the path arrays on the search's hottest
+        call (the heuristic-completion chain at every leaf).  Same
+        bracketing contract as :meth:`place_run`: no undo frames, caller
+        holds a :meth:`checkpoint`.
+        """
+        t, f = self._t, self._f
+        capacity = self.capacity
+        eps = _EPS
+        # Frontier over suffix-minimum requests; see place_run.
+        suf = [0] * count
+        mv = capacity + 1
+        for q in range(count - 1, -1, -1):
+            v = nodes_arr[idxs[d0 + q]]
+            if v < mv:
+                mv = v
+            suf[q] = mv
+        fnf = 0
+        for d in range(d0, d0 + count):
+            idx = idxs[d]
+            nodes = nodes_arr[idx]
+            duration = dur_arr[idx]
+            if nodes > capacity:
+                raise ValueError(f"{nodes} nodes exceeds capacity {capacity}")
+            thr = suf[d - d0]
+            while f[fnf] < thr:
+                fnf += 1
+
+            # --- earliest-fit scan (identical to place()) ---------------
+            m = len(t)
+            cand = earliest if earliest > t[0] else t[0]
+            i = 0
+            ni = 1
+            while ni < m and t[ni] <= cand:
+                i = ni
+                ni += 1
+            while True:
+                if f[i] < nodes:
+                    i = fnf if fnf > i + 1 else i + 1
+                    while f[i] < nodes:
+                        i += 1
+                    cand = t[i]
+                end = cand + duration
+                end_eps = end - eps
+                j = i + 1
+                blocked = 0
+                while j < m and t[j] < end_eps:
+                    if f[j] < nodes:
+                        blocked = j
+                        break
+                    j += 1
+                if not blocked:
+                    break
+                i = blocked
+                cand = t[blocked]
+            starts_out[d] = start = cand
+
+            # --- fold this job's objective terms ------------------------
+            wait = start - submit[idx]
+            e = wait - omega
+            if e > 0.0:
+                exc += e
+            den = denom[idx]
+            slow += (wait + den) / den
+
+            # --- start breakpoint ---------------------------------------
+            if start - t[i] <= eps:
+                si = i
+            else:
+                si = i + 1
+                t.insert(si, start)
+                f.insert(si, f[i])
+                m += 1
+
+            # --- end breakpoint -----------------------------------------
+            j = si + 1
+            while j < m and t[j] <= end:
+                j += 1
+            j -= 1
+            if end - t[j] <= eps:
+                ej = j
+            else:
+                ej = j + 1
+                t.insert(ej, end)
+                f.insert(ej, f[j])
+
+            # --- claim the nodes over [start pos, end pos) --------------
+            for k in range(si, ej):
+                f[k] -= nodes
+        return exc, slow
 
     # ------------------------------------------------------------------
     # Queries (parity with the reference; used by tests and local search)
@@ -601,26 +840,17 @@ class SearchProfile:
 
     def segments(self) -> list[tuple[float, int]]:
         """The ``(time, free)`` breakpoint list, in time order (a copy)."""
-        t, f, nx = self._t, self._f, self._nx
-        out: list[tuple[float, int]] = []
-        k = nx[0]
-        while k:
-            out.append((t[k], f[k]))
-            k = nx[k]
-        return out
+        return list(zip(self._t, self._f))
 
     # ------------------------------------------------------------------
     # Debug-mode invariant checks (see repro.util.sanitize)
     # ------------------------------------------------------------------
     def _occupied_node_seconds(self) -> float:
         total = 0.0
-        t, f, nx = self._t, self._f, self._nx
-        k = nx[0]
-        nk = nx[k]
-        while nk:
-            total += (self.capacity - f[k]) * (t[nk] - t[k])
-            k = nk
-            nk = nx[k]
+        t, f = self._t, self._f
+        cap = self.capacity
+        for k in range(len(t) - 1):
+            total += (cap - f[k]) * (t[k + 1] - t[k])
         return total
 
     def _sanitize_delta(
@@ -636,33 +866,22 @@ class SearchProfile:
         )
 
     def check_invariants(self) -> None:
-        """Assert structural and linked-list invariants."""
-        t, f, nx, pv = self._t, self._f, self._nx, self._pv
-        seen = 0
-        k = nx[0]
-        prev = 0
-        last_free = -1
-        while k:
-            if pv[k] != prev:
-                raise AssertionError("linked-list prev/next mismatch")
-            if prev and not t[prev] < t[k]:
-                raise AssertionError("breakpoints not strictly increasing")
-            if not (0 <= f[k] <= self.capacity):
-                raise AssertionError(
-                    f"free count {f[k]} outside [0, {self.capacity}]"
-                )
-            last_free = f[k]
-            seen += 1
-            prev = k
-            k = nx[k]
-            if seen > len(t):
-                raise AssertionError("linked list contains a cycle")
-        if seen == 0:
+        """Assert structural invariants of the segment arrays."""
+        t, f = self._t, self._f
+        if len(t) != len(f):
+            raise AssertionError("times/free length mismatch")
+        if not t:
             raise AssertionError("profile has no segments")
-        if last_free != self.capacity:
+        for a, b in zip(t, t[1:]):
+            if not a < b:
+                raise AssertionError("breakpoints not strictly increasing")
+        for n in f:
+            if not (0 <= n <= self.capacity):
+                raise AssertionError(
+                    f"free count {n} outside [0, {self.capacity}]"
+                )
+        if f[-1] != self.capacity:
             raise AssertionError("final segment must have all nodes free")
-        if seen + len(self._pool) + 1 != len(t):
-            raise AssertionError("slot accounting broken (leaked slots)")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         segs = ", ".join(f"{t:.0f}:{n}" for t, n in self.segments())

@@ -56,6 +56,7 @@ from functools import lru_cache
 from typing import Any, Callable, Mapping, Sequence, Union
 
 from repro.core.criteria import CriteriaEvaluator, MultiScore
+from repro.core.deltascore import CHAIN_VECTOR_MIN, JobArrays, fold_chain_terms
 from repro.core.objective import ObjectiveConfig, ScheduleScore
 from repro.core.profile import AvailabilityProfile
 from repro.core.search_tree import max_discrepancies
@@ -362,6 +363,11 @@ class _SearchRunBase:
         self.iterations_started = 0
         self.limit_hit = False
         self.improved_after_first = False
+        #: Budget-check invocations, counted independently of
+        #: ``nodes_visited``: the wall-clock poll keys off this counter so
+        #: batched node accounting (which advances ``nodes_visited`` in
+        #: strides) can never skip every poll.
+        self._checks = 0
 
         self.best_score: Score | None = None
         self.best_order: tuple[Job, ...] = ()
@@ -377,17 +383,13 @@ class _SearchRunBase:
 
     # ------------------------------------------------------------------
     def run(self) -> SearchResult:
+        # n == 0 deliberately takes the normal path: ``max_discrepancies(0)
+        # == 0`` so iteration 0 runs, evaluates the single (empty) leaf,
+        # and the result honours every convention of the n >= 1 path —
+        # ``iterations_started == 1``, ``leaves_evaluated == 1``, and an
+        # anytime record when requested — instead of a bespoke early
+        # return that bypassed ``_leaf`` entirely.
         n = len(self.problem.jobs)
-        if n == 0:
-            return SearchResult(
-                best_order=(),
-                best_starts={},
-                best_score=self._score_of(self._acc0, 0),
-                nodes_visited=0,
-                leaves_evaluated=0,
-                iterations_started=0,
-                limit_hit=False,
-            )
         try:
             for iteration in range(0, max_discrepancies(n) + 1):
                 self.iterations_started += 1
@@ -419,10 +421,15 @@ class _SearchRunBase:
             return  # the heuristic schedule always completes
         if self.node_limit is not None and self.nodes_visited >= self.node_limit:
             raise _StopSearch
-        # The wall clock is polled sparsely: every 64 node visits.
-        if self._deadline is not None and self.nodes_visited % 64 == 0:
-            if _wallclock.perf_counter() >= self._deadline:
-                raise _StopSearch
+        # The wall clock is polled sparsely: every 64 *checks*.  The poll
+        # cadence must not key off ``nodes_visited`` — engines that batch
+        # node accounting advance it in strides, and a strided counter
+        # can miss every ``% 64 == 0`` residue and never poll at all.
+        if self._deadline is not None:
+            self._checks += 1
+            if (self._checks & 63) == 0:
+                if _wallclock.perf_counter() >= self._deadline:
+                    raise _StopSearch
 
     def _leaf(self, acc: tuple[float, ...]) -> None:
         self.leaves_evaluated += 1
@@ -435,6 +442,12 @@ class _SearchRunBase:
             self.best_starts = {job.job_id: start for job, start in self._prefix}
             if self.anytime is not None:
                 self.anytime.append((self.nodes_visited, score))
+            self._on_improved()
+
+    def _on_improved(self) -> None:
+        """Hook: the incumbent was just replaced (both leaf paths call
+        this).  The parallel engine's shard runs override it to publish
+        the new best to the shared-memory blackboard."""
 
     def _prune_child(self, acc: tuple[float, ...], left: int) -> bool:
         """Branch-and-bound: can this partial schedule still beat the best?"""
@@ -560,6 +573,34 @@ class _FastSearchRun(_SearchRunBase):
     same (job, position) sequence as the reference engine.  Placements go
     through :class:`~repro.core.profile.SearchProfile.place`/``unplace``:
     one call per visit, no bisects, no token objects, no memmoves.
+
+    For the paper's two-level objective (no custom evaluator) the run
+    additionally specialises the whole per-node pipeline into a **delta
+    kernel** (the ``*2`` methods; see ``docs/performance.md``):
+
+    - the objective accumulators are two plain floats threaded down the
+      recursion (``exc``/``slow``) instead of a tuple allocated per node;
+      backtracking "undoes" a contribution by dropping the callee's
+      locals, so the float association order is *exactly* the reference
+      tuple fold's and bit-identity is preserved by construction;
+    - per-job submit/nodes/runtime and the floor-clamped slowdown
+      denominator live in flat :class:`~repro.core.deltascore.JobArrays`
+      indexed by dense job index — no ``Job`` attribute reads or
+      ``job_id``-keyed dict lookups per visit;
+    - the path is a pair of preallocated arrays (``_path_i``/``_path_s``)
+      written at the current depth — every leaf sits at depth n, so
+      backtracking never needs to pop them;
+    - heuristic-completion chains (``_chain2``) batch all remaining
+      placements through :meth:`SearchProfile.place_run` bracketed by one
+      ``checkpoint``/``rollback`` pair — no per-node budget-check calls
+      (the allowance is computed up front), no undo frames, no linked-list
+      unlink/relink (a chain never branches, so walking ``_nxt`` without
+      mutating it is enough) — and score the tail with
+      :func:`~repro.core.deltascore.fold_chain_terms` (numpy-vectorized
+      above its crossover, pure-python fold below it).
+
+    A custom ``problem.evaluator`` keeps the generic tuple-accumulator
+    methods (``_chain``/``_dfs_lds``/``_dfs_dds``).
     """
 
     def __init__(
@@ -580,9 +621,36 @@ class _FastSearchRun(_SearchRunBase):
         self._head = n
         self._nxt = list(range(1, n + 1)) + [0]
         self._prv = [n] + list(range(0, n))
+        # Delta-kernel state (two-level objective only).
+        self._ja: JobArrays | None = None
+        self._omega = problem.omega
+        self._path_i: list[int] = [0] * n
+        self._path_s: list[float] = [0.0] * n
+        self._sanitizing = self.profile.sanitizing
+        if problem.evaluator is None:
+            self._ja = JobArrays.build(
+                problem.jobs, self._rt, problem.objective.slowdown_floor
+            )
+            self._sa_submit = self._ja.submit
+            self._sa_nodes = self._ja.nodes
+            self._sa_rt = self._ja.runtime
+            self._sa_denom = self._ja.denom
+        else:
+            self._sa_submit = self._sa_rt = self._sa_denom = []
+            self._sa_nodes = []
 
     def _iterate(self, iteration: int) -> None:
         n = len(self._jobs)
+        if self._ja is not None:
+            exc0, slow0 = self._acc0[0], self._acc0[1]
+            if self.algorithm == "lds":
+                self._dfs_lds2(n, iteration, exc0, slow0, 0)
+            elif iteration == 0:
+                # DDS iteration 0 == LDS iteration 0: heuristic path.
+                self._dfs_lds2(n, 0, exc0, slow0, 0)
+            else:
+                self._dfs_dds2(n, iteration, 1, exc0, slow0, 0)
+            return
         if self.algorithm == "lds":
             self._dfs_lds(n, iteration, self._acc0)
         elif iteration == 0:
@@ -590,6 +658,289 @@ class _FastSearchRun(_SearchRunBase):
             self._dfs_lds(n, 0, self._acc0)
         else:
             self._dfs_dds(n, iteration, 1, self._acc0)
+
+    # ------------------------------------------------------------------
+    # The delta kernel: two-level objective specialisations
+    # ------------------------------------------------------------------
+    def _leaf2(self, exc: float, slow: float, d: int) -> None:
+        """Leaf evaluation fed by the delta accumulators and path arrays.
+
+        ``d`` is the leaf depth — always the full job count, since every
+        complete schedule places every job — and doubles as the score's
+        ``n_jobs``.  The order/starts are only materialised on
+        improvement, exactly like the generic ``_leaf``.
+        """
+        self.leaves_evaluated += 1
+        best = self.best_score
+        # Float-pair comparison, identical to ``ScheduleScore.__lt__``'s
+        # lexicographic key compare but without allocating a score for the
+        # (overwhelmingly common) non-improving leaf.
+        if best is not None:
+            b_exc = best.total_excessive_wait
+            if exc > b_exc or (exc == b_exc and slow >= best.total_slowdown):
+                return
+            self.improved_after_first = True
+        score = ScheduleScore(exc, slow, d)
+        self.best_score = score
+        jobs, path_i, path_s = self._jobs, self._path_i, self._path_s
+        order = tuple(jobs[path_i[p]] for p in range(d))
+        self.best_order = order
+        self.best_starts = {order[p].job_id: path_s[p] for p in range(d)}
+        if self.anytime is not None:
+            self.anytime.append((self.nodes_visited, score))
+        self._on_improved()
+
+    def _prune_child2(self, exc: float, slow: float, left: int) -> bool:
+        """`_prune_child` on the delta accumulators (same lower bound:
+        each unplaced job adds >= 0 excess and >= 1 slowdown)."""
+        best = self.best_score
+        if best is None:
+            return False
+        b_exc = best.total_excessive_wait
+        if exc > b_exc:
+            return True
+        if exc < b_exc:
+            return False
+        return slow + left >= best.total_slowdown
+
+    def _chain_allowance(self, m: int) -> int:
+        """How many of the next ``m`` chain placements the budget allows,
+        committed as one batch with accounting applied once; -1 demands
+        the per-node slow path (wall-clock deadline polling).
+
+        Mirrors ``_check_budget`` exactly: no limit or the first leaf
+        still pending allows everything; otherwise the batch is clamped
+        to the visits left, and the caller raises ``_StopSearch`` after
+        committing a short batch — the same state the serial per-node
+        check sequence reaches, at a fraction of the cost.
+        """
+        if self._deadline is not None:
+            return -1
+        limit = self.node_limit
+        if limit is None or self.leaves_evaluated == 0:
+            return m
+        left = limit - self.nodes_visited
+        if left >= m:
+            return m
+        return left if left > 0 else 0
+
+    def _chain2(self, m: int, exc: float, slow: float, d: int) -> None:
+        """Heuristic completion, batched: the delta kernel's `_chain`.
+
+        A chain never branches, so the linked list is walked without
+        unlink/relink, placements commit through ``place_run`` with one
+        ``checkpoint``/``rollback`` bracket instead of ``m`` undo frames,
+        and the tail's objective terms fold in one pass.
+        """
+        if m == 0:
+            self._leaf2(exc, slow, d)
+            return
+        if self.prune or self._sanitizing:
+            # Pruning needs per-step bound checks; the sanitizer needs
+            # per-mutation invariant checks.  Both take the per-node path.
+            self._chain2_slow(m, exc, slow, d)
+            return
+        k = self._chain_allowance(m)
+        if k < 0:
+            self._chain2_slow(m, exc, slow, d)
+            return
+        if k == 0:
+            raise _StopSearch  # budget gone before the first placement
+        if k < m:
+            # Truncated chain: the k placements would be rolled back
+            # unread (no leaf is reached, starts are never consulted), so
+            # only the node accounting is observable.  Commit it and stop
+            # exactly where the serial per-node sequence stops: k
+            # placements visited, the (k+1)-th check raises.
+            self.nodes_visited += k
+            raise _StopSearch
+        ja = self._ja
+        assert ja is not None  # callers dispatch on it
+        nxt, path_i, path_s = self._nxt, self._path_i, self._path_s
+        i = self._head
+        for p in range(d, d + k):
+            i = nxt[i]
+            path_i[p] = i
+        profile = self.profile
+        ck = profile.checkpoint()
+        try:
+            self.nodes_visited += k
+            if k >= CHAIN_VECTOR_MIN:
+                profile.place_run(
+                    path_i, d, k, self._sa_nodes, self._sa_rt, self._now, path_s
+                )
+                exc, slow = fold_chain_terms(
+                    exc, slow, path_i, path_s, d, k, ja, self._omega
+                )
+            else:
+                # Short chains fold inside the placement loop itself —
+                # ``place_run_fold`` performs the same float ops in the
+                # same order as ``place_run`` + the scalar fold, saving a
+                # second pass over the path arrays per leaf.
+                exc, slow = profile.place_run_fold(
+                    path_i,
+                    d,
+                    k,
+                    self._sa_nodes,
+                    self._sa_rt,
+                    self._now,
+                    path_s,
+                    self._sa_submit,
+                    self._sa_denom,
+                    self._omega,
+                    exc,
+                    slow,
+                )
+            self._leaf2(exc, slow, d + k)
+        finally:
+            profile.rollback(ck)
+
+    def _chain2_slow(self, m: int, exc: float, slow: float, d: int) -> None:
+        """Per-node chain for the cases batching must not paper over:
+        wall-clock deadlines (poll cadence), pruning (per-step bounds),
+        the sanitizer (per-mutation checks), and shard blackboard polls.
+        Still delta-scored and unlink-free; undo is one rollback."""
+        nxt = self._nxt
+        submit, denom = self._sa_submit, self._sa_denom
+        nodes_a, rt_a = self._sa_nodes, self._sa_rt
+        place = self.profile.place
+        path_i, path_s = self._path_i, self._path_s
+        omega, now = self._omega, self._now
+        prune = self.prune
+        i = self._head
+        p, end = d, d + m
+        ck = self.profile.checkpoint()
+        try:
+            while p < end:
+                self._check_budget()
+                i = nxt[i]
+                self.nodes_visited += 1
+                start = place(nodes_a[i], rt_a[i], now)
+                path_i[p] = i
+                path_s[p] = start
+                wait = start - submit[i]
+                e = wait - omega
+                if e > 0.0:
+                    exc += e
+                den = denom[i]
+                slow += (wait + den) / den
+                p += 1
+                if prune and self._prune_child2(exc, slow, end - p):
+                    return
+            self._leaf2(exc, slow, end)
+        finally:
+            self.profile.rollback(ck)
+
+    # ------------------------------------------------------------------
+    # LDS (delta kernel): iteration k explores paths with exactly k
+    # discrepancies.  Same traversal as ``_dfs_lds`` below, with the
+    # accumulator threaded as two floats and the path in flat arrays.
+    # ------------------------------------------------------------------
+    def _dfs_lds2(
+        self, m: int, k_left: int, exc: float, slow: float, d: int
+    ) -> None:
+        if k_left == 0:
+            # No discrepancies left: only the heuristic completion remains.
+            self._chain2(m, exc, slow, d)
+            return
+        if m == 0:
+            return  # budget k_left > 0 unspent: not a valid leaf
+        nxt, prv = self._nxt, self._prv
+        submit, denom = self._sa_submit, self._sa_denom
+        nodes_a, rt_a = self._sa_nodes, self._sa_rt
+        place, unplace = self.profile.place, self.profile.unplace
+        path_i, path_s = self._path_i, self._path_s
+        omega, now = self._omega, self._now
+        prune = self.prune
+        check_budget = self._check_budget
+        cap = m - 2 if m > 2 else 0  # == max(0, m - 2)
+        i = nxt[self._head]
+        for idx in range(m):
+            if idx:
+                if k_left < 1:  # a discrepancy costs 1 we don't have
+                    break
+                child_k = k_left - 1
+            else:
+                child_k = k_left
+            if child_k <= cap:  # enough levels left to spend child_k
+                check_budget()
+                pi, ni = prv[i], nxt[i]
+                nxt[pi] = ni
+                prv[ni] = pi
+                self.nodes_visited += 1
+                start = place(nodes_a[i], rt_a[i], now)
+                path_i[d] = i
+                path_s[d] = start
+                try:
+                    wait = start - submit[i]
+                    e = wait - omega
+                    nexc = exc + e if e > 0.0 else exc
+                    den = denom[i]
+                    nslow = slow + (wait + den) / den
+                    if not prune or not self._prune_child2(nexc, nslow, m - 1):
+                        self._dfs_lds2(m - 1, child_k, nexc, nslow, d + 1)
+                finally:
+                    unplace()
+                    nxt[pi] = i
+                    prv[ni] = i
+                i = ni
+            else:
+                i = nxt[i]
+
+    # ------------------------------------------------------------------
+    # DDS (delta kernel): iteration i forces a discrepancy at level i,
+    # allows anything above, prohibits any below (levels are 1-based).
+    # ------------------------------------------------------------------
+    def _dfs_dds2(
+        self, m: int, iteration: int, level: int, exc: float, slow: float, d: int
+    ) -> None:
+        if level > iteration:
+            # Below the discrepancy level only the heuristic child is
+            # allowed, all the way down: run the batched chain.
+            self._chain2(m, exc, slow, d)
+            return
+        if m == 0:
+            self._leaf2(exc, slow, d)
+            return
+        if level < iteration:
+            lo, hi = 0, m
+        else:  # level == iteration
+            if m < 2:
+                return  # no discrepancy possible; iteration covers nothing here
+            lo, hi = 1, m
+        nxt, prv = self._nxt, self._prv
+        submit, denom = self._sa_submit, self._sa_denom
+        nodes_a, rt_a = self._sa_nodes, self._sa_rt
+        place, unplace = self.profile.place, self.profile.unplace
+        path_i, path_s = self._path_i, self._path_s
+        omega, now = self._omega, self._now
+        prune = self.prune
+        check_budget = self._check_budget
+        i = nxt[self._head]
+        for _ in range(lo):
+            i = nxt[i]
+        for _pos in range(lo, hi):
+            check_budget()
+            pi, ni = prv[i], nxt[i]
+            nxt[pi] = ni
+            prv[ni] = pi
+            self.nodes_visited += 1
+            start = place(nodes_a[i], rt_a[i], now)
+            path_i[d] = i
+            path_s[d] = start
+            try:
+                wait = start - submit[i]
+                e = wait - omega
+                nexc = exc + e if e > 0.0 else exc
+                den = denom[i]
+                nslow = slow + (wait + den) / den
+                if not prune or not self._prune_child2(nexc, nslow, m - 1):
+                    self._dfs_dds2(m - 1, iteration, level + 1, nexc, nslow, d + 1)
+            finally:
+                unplace()
+                nxt[pi] = i
+                prv[ni] = i
+            i = ni
 
     # ------------------------------------------------------------------
     def _chain(self, m: int, acc: tuple[float, ...]) -> None:

@@ -137,11 +137,19 @@ def run_bench(
     repeats: int = 3,
     search_workers: int = 4,
     progress: Callable[[str], None] | None = None,
+    limits: tuple[int, ...] | None = None,
 ) -> dict[str, Any]:
-    """Time every (policy, L, variant) combination and build the report."""
+    """Time every (policy, L, variant) combination and build the report.
+
+    ``limits`` overrides the budget sweep (tests use tiny budgets so the
+    full report machinery — every row family, every identity assert —
+    runs in milliseconds); by default ``quick`` picks between
+    :data:`QUICK_LIMITS` and :data:`FULL_LIMITS`.
+    """
     from repro.util.workerpool import available_cores, get_pool
 
-    limits = QUICK_LIMITS if quick else FULL_LIMITS
+    if limits is None:
+        limits = QUICK_LIMITS if quick else FULL_LIMITS
     say = progress if progress is not None else (lambda _msg: None)
     configs: list[dict[str, Any]] = []
     speedups: dict[str, float] = {}
@@ -249,7 +257,69 @@ def run_bench(
         "machine": platform.machine(),
         "configs": configs,
         "speedups": speedups,
+        "tolerance": TOLERANCE,
     }
+
+
+#: The ``--check`` band a fresh smoke run is judged against.  The
+#: fast/reference *ratio* is machine-independent (both engines share the
+#: interpreter and the cache behaviour), so it gets the tight band; raw
+#: nodes/sec moves with the builder's hardware and load, so its floor
+#: only catches collapses, not drift.
+TOLERANCE: dict[str, float] = {
+    # fresh fast/reference speedup >= committed speedup x this
+    "min_speedup_frac": 0.65,
+    # fresh fast-engine nodes/sec >= committed nodes/sec x this
+    "min_nodes_per_second_frac": 0.40,
+}
+
+
+def check_bench(
+    fresh: dict[str, Any], committed: dict[str, Any]
+) -> list[str]:
+    """Judge a fresh (usually ``--quick``) run against the committed
+    report's tolerance band; return human-readable failures (empty ==
+    within tolerance).  Only configurations present in both reports are
+    compared, so a quick run checks cleanly against a full baseline."""
+    tol = committed.get("tolerance", TOLERANCE)
+    failures: list[str] = []
+    min_speedup = tol["min_speedup_frac"]
+    for key, fresh_ratio in fresh["speedups"].items():
+        if ":" in key:  # parallel/prune families move with core count
+            continue
+        committed_ratio = committed["speedups"].get(key)
+        if committed_ratio is None:
+            continue
+        if fresh_ratio < committed_ratio * min_speedup:
+            failures.append(
+                f"{key}: fast/reference speedup {fresh_ratio:.2f}x below "
+                f"{min_speedup:.0%} of committed {committed_ratio:.2f}x"
+            )
+    min_nps = tol["min_nodes_per_second_frac"]
+
+    def rowkey(row: dict[str, Any]) -> tuple[Any, ...]:
+        return (
+            row["policy"],
+            row["node_limit"],
+            row["engine"],
+            row["prune"],
+            row.get("search_workers"),
+        )
+
+    committed_rows = {rowkey(r): r for r in committed["configs"]}
+    for row in fresh["configs"]:
+        if row["engine"] != "fast" or row["prune"]:
+            continue
+        base = committed_rows.get(rowkey(row))
+        if base is None:
+            continue
+        if row["nodes_per_second"] < base["nodes_per_second"] * min_nps:
+            failures.append(
+                f"{row['policy']}@L={row['node_limit']}: fast engine "
+                f"{row['nodes_per_second']:,.0f} nodes/s below {min_nps:.0%} "
+                f"of committed {base['nodes_per_second']:,.0f}"
+            )
+    return failures
 
 
 def write_bench(

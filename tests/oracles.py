@@ -59,6 +59,10 @@ def fingerprint(result: SearchResult) -> tuple[Any, ...]:
         result.iterations_started,
         result.limit_hit,
         result.improved_after_first,
+        # ``None`` unless the search ran with ``record_anytime=True``;
+        # when recorded, the improvement trace — every (nodes_visited,
+        # score) step — must also match across engines.
+        None if result.anytime is None else tuple(result.anytime),
     )
 
 

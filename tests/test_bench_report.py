@@ -1,0 +1,126 @@
+"""The ``repro bench`` report machinery, exercised at toy budgets.
+
+``run_bench`` is the committed-baseline writer: every perf claim in
+``BENCH_search.json`` (and the README table derived from it) flows
+through it, so its row families, identity asserts, and the ``--check``
+tolerance band get tier-1 coverage here — at L small enough to run in
+milliseconds.  ``search_workers=1`` keeps the parallel rows on the
+in-process sharding path, which is also exactly what a 1-core CI host
+measures: the ``cores`` field must then report that host honestly so the
+archived parallel "speedups" are read as the slowdowns they are.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import bench as bench_mod
+from repro.experiments.bench import POLICIES, check_bench, run_bench
+from repro.util.workerpool import available_cores
+
+#: Small enough for milliseconds, big enough to truncate mid-iteration
+#: (the 30-job decision point's iteration 0 alone costs 30 nodes).
+TOY_LIMITS = (40, 80)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_bench(repeats=1, search_workers=1, limits=TOY_LIMITS)
+
+
+def test_report_has_every_row_family(report):
+    """Per (policy, L): fast, reference, parallel, and prune-ablation."""
+    assert report["schema"] == bench_mod.SCHEMA
+    rows = report["configs"]
+    for algorithm, heuristic in POLICIES:
+        for L in TOY_LIMITS:
+            match = [
+                r
+                for r in rows
+                if r["algorithm"] == algorithm and r["node_limit"] == L
+            ]
+            engines = sorted((r["engine"], r["prune"]) for r in match)
+            assert engines == [
+                ("fast", False),
+                ("fast", True),
+                ("parallel", False),
+                ("reference", False),
+            ]
+    for row in rows:
+        assert row["nodes_per_second"] > 0
+        if row["engine"] == "parallel":
+            assert row["search_workers"] == 1
+
+
+def test_cores_field_reports_this_host_honestly(report):
+    """The report pins the measuring host's usable core count — on a
+    1-core builder the parallel rows then read as the honest slowdowns
+    they are, not as broken speedups."""
+    assert report["cores"] == available_cores()
+    assert report["search_workers"] == 1
+
+
+def test_speedup_key_families_are_complete(report):
+    plain = {k for k in report["speedups"] if ":" not in k}
+    parallel = {k for k in report["speedups"] if ":parallel" in k}
+    prune = {k for k in report["speedups"] if ":prune" in k}
+    assert len(plain) == len(POLICIES) * len(TOY_LIMITS)
+    assert len(parallel) == len(plain)
+    assert len(prune) == len(plain)
+    assert all(v > 0 for v in report["speedups"].values())
+
+
+def test_parallel_identity_assert_fires_on_divergence(monkeypatch):
+    """A parallel result that differs from fast by one field must abort
+    the report — a speedup over a different answer is meaningless."""
+    real = bench_mod.time_search
+
+    def skewed(problem, algorithm, node_limit, engine, **kwargs):
+        result, seconds = real(problem, algorithm, node_limit, engine, **kwargs)
+        if engine == "parallel":
+            result.nodes_visited += 1
+        return result, seconds
+
+    monkeypatch.setattr(bench_mod, "time_search", skewed)
+    with pytest.raises(AssertionError, match="parallel engine disagrees"):
+        run_bench(repeats=1, search_workers=1, limits=(40,))
+
+
+def test_check_bench_accepts_itself(report):
+    assert check_bench(report, report) == []
+
+
+def test_check_bench_flags_collapsed_throughput(report):
+    degraded = json.loads(json.dumps(report))  # deep copy
+    for row in degraded["configs"]:
+        row["nodes_per_second"] *= 0.2
+    for key in degraded["speedups"]:
+        degraded["speedups"][key] *= 0.2
+    failures = check_bench(degraded, report)
+    assert failures
+    assert any("nodes/s below" in f for f in failures)
+    assert any("speedup" in f for f in failures)
+
+
+def test_check_bench_ignores_machine_dependent_families(report):
+    """Parallel/prune ratios move with the host's core count; only the
+    serial fast/reference family is banded."""
+    degraded = json.loads(json.dumps(report))
+    for key in degraded["speedups"]:
+        if ":" in key:
+            degraded["speedups"][key] *= 0.01
+    assert check_bench(degraded, report) == []
+
+
+def test_quick_run_checks_against_full_baseline(report):
+    """A fresh quick run (fewer budgets) must compare cleanly against a
+    committed full report — missing configurations are skipped, not
+    failed."""
+    fresh = json.loads(json.dumps(report))
+    fresh["configs"] = [r for r in fresh["configs"] if r["node_limit"] == 40]
+    fresh["speedups"] = {
+        k: v for k, v in fresh["speedups"].items() if "L=40" in k
+    }
+    assert check_bench(fresh, report) == []

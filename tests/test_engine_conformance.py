@@ -31,7 +31,7 @@ FUZZ = settings(
 
 
 @given(
-    spec=instance_specs(max_jobs=5),
+    spec=instance_specs(min_jobs=0, max_jobs=5),
     algorithm=st.sampled_from(["dds", "lds"]),
     node_limit=st.sampled_from([7, 64, None]),
 )
@@ -41,15 +41,22 @@ def test_engines_bit_identical_on_random_instances(
 ):
     """fast == reference == parallel on arbitrary instances — at a budget
     that truncates mid-iteration, a roomier one, and exhaustively.
-    ``search_workers=1`` keeps the parallel engine on its in-process
-    sharding path (the pool protocol itself is replay-tested elsewhere);
-    determinism demands worker-count invariance, so one worker speaks
-    for all."""
+    ``min_jobs=0`` keeps the empty decision point in the fuzzed domain
+    (every engine must normalise it through the ordinary leaf path, not a
+    bespoke early return), and ``record_anytime=True`` extends identity to
+    the improvement trace.  ``search_workers=1`` keeps the parallel
+    engine on its in-process sharding path (the pool protocol itself is
+    replay-tested elsewhere); determinism demands worker-count
+    invariance, so one worker speaks for all."""
     problem = spec.to_problem()
     prints = {
         engine: fingerprint(
             DiscrepancySearch(
-                algorithm, node_limit=node_limit, engine=engine, search_workers=1
+                algorithm,
+                node_limit=node_limit,
+                engine=engine,
+                search_workers=1,
+                record_anytime=True,
             ).search(problem)
         )
         for engine in ("fast", "reference", "parallel")
@@ -58,7 +65,7 @@ def test_engines_bit_identical_on_random_instances(
 
 
 @given(
-    spec=instance_specs(max_jobs=5),
+    spec=instance_specs(min_jobs=0, max_jobs=5),
     algorithm=st.sampled_from(["dds", "lds"]),
     node_limit=st.sampled_from([3, 25, 200]),
 )
@@ -77,7 +84,10 @@ def test_search_never_beats_the_exact_oracle(
     assert not (result.best_score < optimal)
 
 
-@given(spec=instance_specs(max_jobs=5), algorithm=st.sampled_from(["dds", "lds"]))
+@given(
+    spec=instance_specs(min_jobs=0, max_jobs=5),
+    algorithm=st.sampled_from(["dds", "lds"]),
+)
 @FUZZ
 def test_exhaustive_search_attains_the_optimum(spec: InstanceSpec, algorithm: str):
     """Unbudgeted search minimises over exactly the oracle's leaf set, so

@@ -116,3 +116,98 @@ def test_exact_budget_completes_without_limit_flag(algorithm):
     result = _search(algorithm, EXHAUSTIVE_NODES)
     assert result.nodes_visited == EXHAUSTIVE_NODES
     assert not result.limit_hit
+
+
+def _problem(jobs=()):
+    return SearchProblem(
+        jobs=tuple(jobs),
+        profile=AvailabilityProfile(4, origin=0.0),
+        now=0.0,
+        omega=0.0,
+        objective=ObjectiveConfig(bound=FixedBound(0.0)),
+        use_actual_runtime=True,
+    )
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference", "parallel"])
+@pytest.mark.parametrize("algorithm", ["dds", "lds"])
+def test_empty_queue_follows_every_result_convention(engine, algorithm):
+    """n = 0 takes the normal iteration-0 path, not a bespoke early
+    return: one iteration starts, the single empty leaf is evaluated,
+    zero nodes are visited, and an anytime record exists — identically
+    on every engine (regression: the fast engine once returned a
+    hand-built SearchResult that skipped ``record_anytime`` and
+    reported ``iterations_started == 0``)."""
+    search = DiscrepancySearch(
+        algorithm,
+        node_limit=10,
+        engine=engine,
+        search_workers=1,
+        record_anytime=True,
+    )
+    result = search.search(_problem())
+    assert result.best_order == ()
+    assert result.best_starts == {}
+    assert result.nodes_visited == 0
+    assert result.leaves_evaluated == 1
+    assert result.iterations_started == 1
+    assert not result.limit_hit
+    assert not result.improved_after_first
+    assert result.anytime == [(0, result.best_score)]
+    assert result.best_score.n_jobs == 0
+    assert result.best_score.avg_slowdown == 0.0
+
+
+def test_deadline_poll_independent_of_node_counter_stride():
+    """The wall-clock poll fires every 64 *checks*, not every 64 nodes.
+
+    Regression: the poll used to key off ``nodes_visited % 64 == 0``.
+    Engines that batch node accounting advance the counter in strides,
+    and a strided counter can miss every residue — e.g. odd-only values
+    never satisfy ``% 64 == 0`` — so an expired deadline was never
+    noticed.  Drive the shared ``_check_budget`` with such a stride and
+    demand it raises within one poll period."""
+    from repro.core.search import _SearchRunBase, _StopSearch
+
+    run = _SearchRunBase(
+        _problem([make_job(job_id=1, submit=0.0, nodes=1, runtime=60.0)]),
+        "dds",
+        node_limit=None,
+        prune=False,
+        time_limit_seconds=0.0,  # deadline already expired
+    )
+    run.leaves_evaluated = 1  # past the first-leaf exemption
+    run.nodes_visited = 1
+    with pytest.raises(_StopSearch):
+        for _ in range(64):
+            run._check_budget()
+            run.nodes_visited += 2  # stays odd: never % 64 == 0
+    # One poll period at most: the raise must land on the 64th check.
+    assert run.nodes_visited == 1 + 2 * 63
+
+
+@pytest.mark.parametrize("algorithm", ["dds", "lds"])
+def test_expired_time_limit_is_bit_identical_across_serial_engines(algorithm):
+    """A wall-clock deadline in the past: both serial engines must stop
+    at the same node (the 64th budget check after the exempt first
+    leaf), yielding identical fingerprints.  The parallel engine rejects
+    time limits by contract, so the pair is the whole domain."""
+    from tests.oracles import fingerprint
+
+    jobs = [
+        make_job(job_id=i, submit=0.0, nodes=1 + i % 3, runtime=HOUR, waiting=True)
+        for i in range(1, 9)
+    ]
+    prints = {}
+    for engine in ("fast", "reference"):
+        search = DiscrepancySearch(
+            algorithm,
+            node_limit=None,
+            engine=engine,
+            record_anytime=True,
+            time_limit_seconds=1e-9,
+        )
+        result = search.search(_problem(jobs))
+        assert result.limit_hit
+        prints[engine] = fingerprint(result)
+    assert prints["fast"] == prints["reference"]
