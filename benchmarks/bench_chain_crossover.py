@@ -1,0 +1,101 @@
+"""Calibrate the numpy chain-fold crossover (``CHAIN_VECTOR_MIN``).
+
+The fast engine folds a leaf chain's objective terms either with a
+pure-python loop (cheap per element, zero call overhead) or with the
+vectorized numpy path (cheap per element *after* ~microseconds of array
+creation and ufunc dispatch).  ``CHAIN_VECTOR_MIN`` is the chain length
+where the vectorized path starts winning — a host property, not a code
+property, which is why it is overridable via ``REPRO_CHAIN_VECTOR_MIN``.
+
+This script measures both paths on synthetic chains across a sweep of
+lengths and reports the smallest length where numpy wins, plus the
+per-length timings so the crossover's sharpness is visible.  Typical
+workflow::
+
+    python benchmarks/bench_chain_crossover.py
+    export REPRO_CHAIN_VECTOR_MIN=<reported crossover>
+
+Both paths produce bit-identical totals (the association-order contract
+of :mod:`repro.core.deltascore`), so retuning the crossover can never
+change results — only wall time.  Run as a script; not a pytest module.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import deltascore
+from repro.core.deltascore import JobArrays, fold_chain_terms
+
+LENGTHS = (8, 16, 32, 48, 64, 96, 128, 192, 256, 384, 512)
+REPS = 2000
+
+
+def _instance(n: int) -> tuple[JobArrays, list[int], list[float]]:
+    """A synthetic n-job chain: spread submits/starts, varied denoms."""
+    submit = [float(13 * k % 97) for k in range(n)]
+    nodes = [1 + k % 7 for k in range(n)]
+    runtime = [60.0 + (k * 37 % 240) for k in range(n)]
+    denom = list(runtime)
+    arrays = JobArrays(submit, nodes, runtime, denom)
+    idxs = list(range(n))
+    starts = [100.0 + 3.0 * k for k in range(n)]
+    return arrays, idxs, starts
+
+
+def _best_of(fn, reps: int = REPS, rounds: int = 5) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / reps)
+    return best
+
+
+def measure() -> list[tuple[int, float, float]]:
+    """(length, python_seconds, numpy_seconds) per sweep point."""
+    rows = []
+    for n in LENGTHS:
+        arrays, idxs, starts = _instance(n)
+        py = _best_of(
+            lambda: fold_chain_terms(
+                0.0, 0.0, idxs, starts, 0, n, arrays, 50.0, vector=False
+            )
+        )
+        vec = _best_of(
+            lambda: fold_chain_terms(
+                0.0, 0.0, idxs, starts, 0, n, arrays, 50.0, vector=True
+            )
+        )
+        rows.append((n, py, vec))
+    return rows
+
+
+def crossover(rows: list[tuple[int, float, float]]) -> int | None:
+    """The smallest measured length from which numpy wins for the rest
+    of the sweep (a one-off blip at a single length does not count)."""
+    for i, (n, py, vec) in enumerate(rows):
+        if all(v <= p for _, p, v in rows[i:]):
+            return n if vec <= py else None
+    return None
+
+
+def main() -> None:
+    rows = measure()
+    print(f"{'chain len':>9}  {'python':>10}  {'numpy':>10}  winner")
+    for n, py, vec in rows:
+        winner = "numpy" if vec <= py else "python"
+        print(f"{n:>9}  {py * 1e6:>8.2f}us  {vec * 1e6:>8.2f}us  {winner}")
+    point = crossover(rows)
+    print()
+    print(f"current CHAIN_VECTOR_MIN: {deltascore.CHAIN_VECTOR_MIN}")
+    if point is None:
+        print("measured crossover: none in sweep (python wins throughout)")
+    else:
+        print(f"measured crossover on this host: {point}")
+        print(f"  export REPRO_CHAIN_VECTOR_MIN={point}")
+
+
+if __name__ == "__main__":
+    main()

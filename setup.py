@@ -1,0 +1,32 @@
+"""Build hook for the optional compiled search kernel.
+
+Everything declarative lives in ``pyproject.toml``; this file exists
+only because extension modules cannot be declared there.  The extension
+is ``optional``: when no C toolchain is available the build degrades to
+the pure-python engines (``engine="compiled"`` then silently falls back
+to ``engine="fast"`` — see ``repro.core.ckernel``).
+
+For a ``PYTHONPATH=src`` checkout, build the kernel in place::
+
+    python setup.py build_ext --inplace
+
+which drops ``repro/core/_ckernel*.so`` next to its source so the
+``have_compiled()`` probe finds it.  ``pip install -e .[compiled]``
+builds it as part of the install.
+"""
+
+import os
+
+from setuptools import Extension, setup
+
+ext_modules = []
+if os.environ.get("REPRO_PURE_PYTHON") != "1":
+    ext_modules.append(
+        Extension(
+            "repro.core._ckernel",
+            sources=["src/repro/core/_ckernel.c"],
+            optional=True,
+        )
+    )
+
+setup(ext_modules=ext_modules)

@@ -20,6 +20,10 @@ Commands
 ``optgap``
     Measure DDS/LDS gap-to-optimal against the exact small-instance
     solver and write the ``BENCH_optgap.json`` quality report.
+``profile``
+    cProfile the first N decision points of a run and print the top-k
+    cumulative hot spots (optionally dumping pstats) — the attribution
+    tool behind the compiled-kernel work.
 ``lint``
     Run simlint (``python -m repro.lint``) over the tree; all simlint
     flags pass through (see ``docs/linting.md``).
@@ -389,6 +393,35 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    import pstats
+
+    from repro.experiments.profiling import profile_decisions
+
+    workload = _load_workload(args)
+    policy = parse_policy(
+        args.policy,
+        args.node_limit,
+        not args.requested_runtimes,
+        search_workers=args.search_workers,
+    )
+    try:
+        profiler, ran = profile_decisions(workload, policy, args.decisions)
+    except ValueError as exc:
+        raise CliError(str(exc)) from None
+    print(
+        f"profiled {ran} decision point(s) of {policy.name} "
+        f"on {workload.name} (requested {args.decisions})"
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative")
+    stats.print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"pstats dump written to {args.out} (open with pstats/snakeviz)")
+    return 0
+
+
 def cmd_optgap(args: argparse.Namespace) -> int:
     from repro.experiments.optgap import check_report, run_optgap, write_optgap
 
@@ -610,6 +643,61 @@ def build_parser() -> argparse.ArgumentParser:
         "tolerance band instead of overwriting it (exit 1 on violation)",
     )
     bench.set_defaults(func=cmd_bench)
+
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile the first N decisions of a run (hot-spot attribution)",
+        description="Simulate a policy and profile its first N decision "
+        "points: print the top-K cumulative hot spots and optionally dump "
+        "pstats for offline analysis — the attribution tool for deciding "
+        "what to compile next (docs/performance.md).",
+    )
+    profile.add_argument("--month", default="2003-07", help="calibrated month name")
+    profile.add_argument("--swf", default=None, help="SWF trace file instead of a month")
+    profile.add_argument("--policy", default="dds/lxf/dynB", help="policy spec")
+    profile.add_argument("--seed", type=int, default=2005)
+    profile.add_argument("--scale", type=float, default=0.1, help="job-count scale")
+    profile.add_argument("--load", type=float, default=None, help="target offered load")
+    profile.add_argument("--node-limit", type=int, default=1000, help="search budget L")
+    profile.add_argument(
+        "--requested-runtimes",
+        action="store_true",
+        help="plan with R* = R instead of R* = T",
+    )
+    profile.add_argument(
+        "--estimates",
+        choices=sorted(_ESTIMATES),
+        default=None,
+        help="synthesize user runtime estimates with this model",
+    )
+    profile.add_argument(
+        "--search-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan each decision's search across N worker processes",
+    )
+    profile.add_argument(
+        "--decisions",
+        type=int,
+        default=50,
+        metavar="N",
+        help="profile the first N decision points (default 50)",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        metavar="K",
+        help="print the top K functions by cumulative time (default 20)",
+    )
+    profile.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also dump raw pstats to FILE for offline analysis",
+    )
+    profile.set_defaults(func=cmd_profile)
 
     optgap = sub.add_parser(
         "optgap",

@@ -1,0 +1,975 @@
+/* Compiled delta-kernel for the discrepancy search (engine="compiled").
+ *
+ * A hand-written CPython extension that replicates, operation for
+ * operation, the fast engine's delta kernel:
+ *
+ *   - repro/core/search.py      _FastSearchRun._dfs_lds2/_dfs_dds2,
+ *                               _chain2/_chain2_slow, _leaf2,
+ *                               _prune_child2, _chain_allowance,
+ *                               _check_budget
+ *   - repro/core/profile.py     SearchProfile.place/unplace (and the
+ *                               place_run_fold fusion: the association-
+ *                               order contract makes one fused scalar
+ *                               place+fold loop bit-identical to both
+ *                               Python chain paths)
+ *   - repro/core/deltascore.py  the per-term arithmetic
+ *                               wait = start - submit
+ *                               e    = wait - omega   (added iff > 0)
+ *                               s    = (wait + den) / den
+ *   - repro/core/parallel_search.py  _ShardRun._run_shard_delta (the
+ *                               shard-mode entry: seeded incumbent, no
+ *                               first-leaf exemption, path replay)
+ *
+ * The pure-python engines remain the source of truth: this file holds
+ * no semantics of its own, only a transcription.  Every float operation
+ * below is a C double operation in the exact order the Python engines
+ * perform it (CPython floats ARE C doubles), so results are
+ * bit-identical — a contract enforced by the oracle fingerprints and
+ * the Hypothesis engine-conformance fuzzer in tests/.
+ *
+ * Deliberately unsupported (the Python wrapper falls back to the fast
+ * engine): wall-clock deadlines (poll cadence), custom evaluators,
+ * the runtime sanitizer (needs per-mutation Python checks), and the
+ * shard blackboard (poll/publish callbacks).
+ *
+ * One structural liberty, invisible in results: where _chain2 brackets
+ * a batch with checkpoint()/rollback() (array snapshot, no undo
+ * frames), this kernel pushes ordinary undo frames and pops them —
+ * both restore the profile exactly, and the in-between states are
+ * never observed.  place()'s skip-ahead also omits place_run's
+ * suffix-min frontier, a pure scan shortcut over segments the plain
+ * walk rejects anyway.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#include <stdlib.h>
+#include <string.h>
+
+#define CK_OK 0
+#define CK_STOP 1 /* _StopSearch */
+#define CK_ERR (-1)
+
+typedef struct {
+    Py_ssize_t si;
+    Py_ssize_t ej;
+    long nodes;
+    int created_start;
+    int created_end;
+} UndoFrame;
+
+typedef struct {
+    long long nodes_visited;
+    double exc;
+    double slow;
+    Py_ssize_t d;
+} AnyRec;
+
+typedef struct {
+    /* profile: parallel breakpoint arrays, live length m */
+    double *t;
+    long *f;
+    Py_ssize_t m;
+    long capacity;
+    double eps;
+    UndoFrame *undo;
+    Py_ssize_t undo_n;
+
+    /* job arrays (dense index) + linked remaining set */
+    Py_ssize_t n;
+    double *submit;
+    double *rt;
+    double *denom;
+    long *jnodes;
+    Py_ssize_t *nxt;
+    Py_ssize_t *prv;
+    Py_ssize_t head;
+
+    /* path / best */
+    Py_ssize_t *path_i;
+    double *path_s;
+    Py_ssize_t *best_i;
+    double *best_s;
+    Py_ssize_t best_d;
+    double b_exc;
+    double b_slow;
+    int best_valid;
+    int has_order;
+
+    /* search parameters */
+    double now;
+    double omega;
+    long long node_limit; /* -1 == None */
+    int prune;
+    int lds;
+    int first_leaf_exempt;
+    int record_anytime;
+
+    /* counters */
+    long long nodes_visited;
+    long long leaves_evaluated;
+    long long iterations_started;
+    int limit_hit;
+    int improved_after_first;
+
+    /* anytime records */
+    AnyRec *any;
+    Py_ssize_t any_n;
+    Py_ssize_t any_cap;
+    int oom;
+} Search;
+
+/* ------------------------------------------------------------------ */
+/* SearchProfile.place: earliest-fit scan + breakpoint commit + undo   */
+/* push.  Straight transcription of profile.py (earliest == s->now    */
+/* on every search call site).                                         */
+/* ------------------------------------------------------------------ */
+static double
+ck_place(Search *s, long nodes, double duration)
+{
+    double *t = s->t;
+    long *f = s->f;
+    Py_ssize_t m = s->m;
+    const double eps = s->eps;
+
+    double cand = s->now > t[0] ? s->now : t[0];
+    Py_ssize_t i = 0;
+    Py_ssize_t ni = 1;
+    while (ni < m && t[ni] <= cand) {
+        i = ni;
+        ni++;
+    }
+    double end;
+    for (;;) {
+        if (f[i] < nodes) {
+            /* Skip ahead; the final segment always has capacity free. */
+            i++;
+            while (f[i] < nodes)
+                i++;
+            cand = t[i];
+        }
+        end = cand + duration;
+        double end_eps = end - eps;
+        Py_ssize_t j = i + 1;
+        Py_ssize_t blocked = 0;
+        while (j < m && t[j] < end_eps) {
+            if (f[j] < nodes) {
+                blocked = j;
+                break;
+            }
+            j++;
+        }
+        if (!blocked)
+            break;
+        i = blocked;
+        cand = t[blocked];
+    }
+    double start = cand;
+
+    /* start breakpoint (t[i] <= start < t[i+1] by the scan) */
+    Py_ssize_t si;
+    int created_start;
+    if (start - t[i] <= eps) {
+        si = i;
+        created_start = 0;
+    }
+    else {
+        si = i + 1;
+        memmove(t + si + 1, t + si, (size_t)(m - si) * sizeof(double));
+        memmove(f + si + 1, f + si, (size_t)(m - si) * sizeof(long));
+        t[si] = start;
+        f[si] = f[i];
+        created_start = 1;
+        m++;
+    }
+
+    /* end breakpoint: continue the walk from the start slot */
+    Py_ssize_t j = si + 1;
+    while (j < m && t[j] <= end)
+        j++;
+    j--;
+    Py_ssize_t ej;
+    int created_end;
+    if (end - t[j] <= eps) {
+        ej = j;
+        created_end = 0;
+    }
+    else {
+        ej = j + 1;
+        memmove(t + ej + 1, t + ej, (size_t)(m - ej) * sizeof(double));
+        memmove(f + ej + 1, f + ej, (size_t)(m - ej) * sizeof(long));
+        t[ej] = end;
+        f[ej] = f[j];
+        created_end = 1;
+        m++;
+    }
+
+    for (Py_ssize_t k = si; k < ej; k++)
+        f[k] -= nodes;
+    s->m = m;
+
+    UndoFrame *u = &s->undo[s->undo_n++];
+    u->si = si;
+    u->ej = ej;
+    u->nodes = nodes;
+    u->created_start = created_start;
+    u->created_end = created_end;
+    return start;
+}
+
+static void
+ck_unplace(Search *s)
+{
+    UndoFrame *u = &s->undo[--s->undo_n];
+    double *t = s->t;
+    long *f = s->f;
+    for (Py_ssize_t k = u->si; k < u->ej; k++)
+        f[k] += u->nodes;
+    /* Delete the end breakpoint first so the start position stays valid. */
+    if (u->created_end) {
+        memmove(t + u->ej, t + u->ej + 1,
+                (size_t)(s->m - u->ej - 1) * sizeof(double));
+        memmove(f + u->ej, f + u->ej + 1,
+                (size_t)(s->m - u->ej - 1) * sizeof(long));
+        s->m--;
+    }
+    if (u->created_start) {
+        memmove(t + u->si, t + u->si + 1,
+                (size_t)(s->m - u->si - 1) * sizeof(double));
+        memmove(f + u->si, f + u->si + 1,
+                (size_t)(s->m - u->si - 1) * sizeof(long));
+        s->m--;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Budget machinery (_check_budget / _chain_allowance)                 */
+/* ------------------------------------------------------------------ */
+static inline int
+ck_check_budget(Search *s)
+{
+    if (s->first_leaf_exempt && s->leaves_evaluated == 0)
+        return CK_OK; /* the heuristic schedule always completes */
+    if (s->node_limit >= 0 && s->nodes_visited >= s->node_limit)
+        return CK_STOP;
+    return CK_OK;
+}
+
+static inline long long
+ck_chain_allowance(Search *s, Py_ssize_t m)
+{
+    if (s->node_limit < 0)
+        return m;
+    if (s->first_leaf_exempt && s->leaves_evaluated == 0)
+        return m;
+    long long left = s->node_limit - s->nodes_visited;
+    if (left >= (long long)m)
+        return m;
+    return left > 0 ? left : 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Leaf evaluation and pruning (the float-pair compare of _leaf2)      */
+/* ------------------------------------------------------------------ */
+static int
+ck_leaf2(Search *s, double exc, double slow, Py_ssize_t d)
+{
+    s->leaves_evaluated++;
+    if (s->best_valid) {
+        if (exc > s->b_exc || (exc == s->b_exc && slow >= s->b_slow))
+            return CK_OK;
+        s->improved_after_first = 1;
+    }
+    s->best_valid = 1;
+    s->has_order = 1;
+    s->b_exc = exc;
+    s->b_slow = slow;
+    s->best_d = d;
+    memcpy(s->best_i, s->path_i, (size_t)d * sizeof(Py_ssize_t));
+    memcpy(s->best_s, s->path_s, (size_t)d * sizeof(double));
+    if (s->record_anytime) {
+        if (s->any_n == s->any_cap) {
+            Py_ssize_t cap = s->any_cap ? s->any_cap * 2 : 64;
+            AnyRec *grown = realloc(s->any, (size_t)cap * sizeof(AnyRec));
+            if (grown == NULL) {
+                s->oom = 1;
+                return CK_ERR;
+            }
+            s->any = grown;
+            s->any_cap = cap;
+        }
+        AnyRec *rec = &s->any[s->any_n++];
+        rec->nodes_visited = s->nodes_visited;
+        rec->exc = exc;
+        rec->slow = slow;
+        rec->d = d;
+    }
+    return CK_OK;
+}
+
+static inline int
+ck_prune_child2(Search *s, double exc, double slow, Py_ssize_t left)
+{
+    if (!s->best_valid)
+        return 0;
+    if (exc > s->b_exc)
+        return 1;
+    if (exc < s->b_exc)
+        return 0;
+    return slow + (double)left >= s->b_slow;
+}
+
+/* ------------------------------------------------------------------ */
+/* Heuristic-completion chains (_chain2 / _chain2_slow)                */
+/* ------------------------------------------------------------------ */
+static int
+ck_chain2_slow(Search *s, Py_ssize_t m, double exc, double slow, Py_ssize_t d)
+{
+    Py_ssize_t i = s->head;
+    Py_ssize_t p = d;
+    const Py_ssize_t end = d + m;
+    int rc = CK_OK;
+    while (p < end) {
+        if (ck_check_budget(s)) {
+            rc = CK_STOP;
+            goto unwind;
+        }
+        i = s->nxt[i];
+        s->nodes_visited++;
+        double start = ck_place(s, s->jnodes[i], s->rt[i]);
+        s->path_i[p] = i;
+        s->path_s[p] = start;
+        double wait = start - s->submit[i];
+        double e = wait - s->omega;
+        if (e > 0.0)
+            exc += e;
+        double den = s->denom[i];
+        slow += (wait + den) / den;
+        p++;
+        if (s->prune && ck_prune_child2(s, exc, slow, end - p))
+            goto unwind; /* pruned mid-chain: plain return in Python */
+    }
+    rc = ck_leaf2(s, exc, slow, end);
+unwind:
+    for (Py_ssize_t q = d; q < p; q++)
+        ck_unplace(s);
+    return rc;
+}
+
+static int
+ck_chain2(Search *s, Py_ssize_t m, double exc, double slow, Py_ssize_t d)
+{
+    if (m == 0)
+        return ck_leaf2(s, exc, slow, d);
+    if (s->prune)
+        /* Pruning needs per-step bound checks. */
+        return ck_chain2_slow(s, m, exc, slow, d);
+    long long k = ck_chain_allowance(s, m);
+    if (k == 0)
+        return CK_STOP; /* budget gone before the first placement */
+    if (k < (long long)m) {
+        /* Truncated chain: placements would be rolled back unread, so
+         * only the node accounting is observable.  Commit it and stop. */
+        s->nodes_visited += k;
+        return CK_STOP;
+    }
+    /* Full chain: walk the list (no unlink — a chain never branches),
+     * place + fold fused in one scalar loop.  Bit-identical to both
+     * Python paths by the association-order contract. */
+    Py_ssize_t i = s->head;
+    for (Py_ssize_t p = d; p < d + m; p++) {
+        i = s->nxt[i];
+        s->path_i[p] = i;
+    }
+    s->nodes_visited += m;
+    for (Py_ssize_t p = d; p < d + m; p++) {
+        Py_ssize_t idx = s->path_i[p];
+        double start = ck_place(s, s->jnodes[idx], s->rt[idx]);
+        s->path_s[p] = start;
+        double wait = start - s->submit[idx];
+        double e = wait - s->omega;
+        if (e > 0.0)
+            exc += e;
+        double den = s->denom[idx];
+        slow += (wait + den) / den;
+    }
+    int rc = ck_leaf2(s, exc, slow, d + m);
+    for (Py_ssize_t q = 0; q < m; q++)
+        ck_unplace(s);
+    return rc;
+}
+
+/* ------------------------------------------------------------------ */
+/* The DFS proper (_dfs_lds2 / _dfs_dds2)                              */
+/* ------------------------------------------------------------------ */
+static int
+ck_dfs_lds2(Search *s, Py_ssize_t m, Py_ssize_t k_left, double exc,
+            double slow, Py_ssize_t d)
+{
+    if (k_left == 0)
+        /* No discrepancies left: only the heuristic completion remains. */
+        return ck_chain2(s, m, exc, slow, d);
+    if (m == 0)
+        return CK_OK; /* budget k_left > 0 unspent: not a valid leaf */
+    Py_ssize_t *nxt = s->nxt;
+    Py_ssize_t *prv = s->prv;
+    const Py_ssize_t cap = m > 2 ? m - 2 : 0;
+    Py_ssize_t i = nxt[s->head];
+    for (Py_ssize_t idx = 0; idx < m; idx++) {
+        Py_ssize_t child_k;
+        if (idx) {
+            if (k_left < 1) /* a discrepancy costs 1 we don't have */
+                break;
+            child_k = k_left - 1;
+        }
+        else {
+            child_k = k_left;
+        }
+        if (child_k <= cap) { /* enough levels left to spend child_k */
+            if (ck_check_budget(s))
+                return CK_STOP;
+            Py_ssize_t pi = prv[i];
+            Py_ssize_t ni = nxt[i];
+            nxt[pi] = ni;
+            prv[ni] = pi;
+            s->nodes_visited++;
+            double start = ck_place(s, s->jnodes[i], s->rt[i]);
+            s->path_i[d] = i;
+            s->path_s[d] = start;
+            double wait = start - s->submit[i];
+            double e = wait - s->omega;
+            double nexc = e > 0.0 ? exc + e : exc;
+            double den = s->denom[i];
+            double nslow = slow + (wait + den) / den;
+            int rc = CK_OK;
+            if (!s->prune || !ck_prune_child2(s, nexc, nslow, m - 1))
+                rc = ck_dfs_lds2(s, m - 1, child_k, nexc, nslow, d + 1);
+            ck_unplace(s);
+            nxt[pi] = i;
+            prv[ni] = i;
+            if (rc)
+                return rc;
+            i = ni;
+        }
+        else {
+            i = nxt[i];
+        }
+    }
+    return CK_OK;
+}
+
+static int
+ck_dfs_dds2(Search *s, Py_ssize_t m, Py_ssize_t iteration, Py_ssize_t level,
+            double exc, double slow, Py_ssize_t d)
+{
+    if (level > iteration)
+        /* Below the discrepancy level only the heuristic child remains. */
+        return ck_chain2(s, m, exc, slow, d);
+    if (m == 0)
+        return ck_leaf2(s, exc, slow, d);
+    Py_ssize_t lo;
+    if (level < iteration) {
+        lo = 0;
+    }
+    else { /* level == iteration */
+        if (m < 2)
+            return CK_OK; /* no discrepancy possible here */
+        lo = 1;
+    }
+    Py_ssize_t *nxt = s->nxt;
+    Py_ssize_t *prv = s->prv;
+    Py_ssize_t i = nxt[s->head];
+    for (Py_ssize_t q = 0; q < lo; q++)
+        i = nxt[i];
+    for (Py_ssize_t pos = lo; pos < m; pos++) {
+        if (ck_check_budget(s))
+            return CK_STOP;
+        Py_ssize_t pi = prv[i];
+        Py_ssize_t ni = nxt[i];
+        nxt[pi] = ni;
+        prv[ni] = pi;
+        s->nodes_visited++;
+        double start = ck_place(s, s->jnodes[i], s->rt[i]);
+        s->path_i[d] = i;
+        s->path_s[d] = start;
+        double wait = start - s->submit[i];
+        double e = wait - s->omega;
+        double nexc = e > 0.0 ? exc + e : exc;
+        double den = s->denom[i];
+        double nslow = slow + (wait + den) / den;
+        int rc = CK_OK;
+        if (!s->prune || !ck_prune_child2(s, nexc, nslow, m - 1))
+            rc = ck_dfs_dds2(s, m - 1, iteration, level + 1, nexc, nslow,
+                             d + 1);
+        ck_unplace(s);
+        nxt[pi] = i;
+        prv[ni] = i;
+        if (rc)
+            return rc;
+        i = ni;
+    }
+    return CK_OK;
+}
+
+/* ------------------------------------------------------------------ */
+/* Drivers: full run (_SearchRunBase.run) and shard replay             */
+/* (_ShardRun._run_shard_delta)                                        */
+/* ------------------------------------------------------------------ */
+static int
+ck_run_full(Search *s)
+{
+    Py_ssize_t n = s->n;
+    Py_ssize_t max_disc = n > 1 ? n - 1 : 0; /* max_discrepancies(n) */
+    for (Py_ssize_t it = 0; it <= max_disc; it++) {
+        s->iterations_started++;
+        int rc;
+        if (s->lds)
+            rc = ck_dfs_lds2(s, n, it, 0.0, 0.0, 0);
+        else if (it == 0)
+            /* DDS iteration 0 == LDS iteration 0: heuristic path. */
+            rc = ck_dfs_lds2(s, n, 0, 0.0, 0.0, 0);
+        else
+            rc = ck_dfs_dds2(s, n, it, 1, 0.0, 0.0, 0);
+        if (rc == CK_ERR)
+            return CK_ERR;
+        if (rc == CK_STOP) {
+            s->limit_hit = 1;
+            break;
+        }
+    }
+    return CK_OK;
+}
+
+static int
+ck_run_shard(Search *s, Py_ssize_t iteration, const Py_ssize_t *path,
+             Py_ssize_t path_len, Py_ssize_t counted)
+{
+    Py_ssize_t *nxt = s->nxt;
+    Py_ssize_t *prv = s->prv;
+    Py_ssize_t n = s->n;
+    Py_ssize_t k_left = iteration; /* LDS: discrepancy budget on the path */
+    Py_ssize_t level = 1;          /* DDS: 1-based tree level */
+    double exc = 0.0;
+    double slow = 0.0;
+    Py_ssize_t free_replay = path_len - counted;
+    Py_ssize_t placed = 0;
+    int pruned = 0;
+    int stopped = 0;
+    int rc = CK_OK;
+
+    for (Py_ssize_t depth = 0; depth < path_len; depth++) {
+        Py_ssize_t pos = path[depth];
+        if (depth >= free_replay) {
+            if (ck_check_budget(s)) {
+                stopped = 1;
+                break;
+            }
+            s->nodes_visited++;
+        }
+        Py_ssize_t i = nxt[s->head];
+        for (Py_ssize_t q = 0; q < pos; q++)
+            i = nxt[i];
+        Py_ssize_t pi = prv[i];
+        Py_ssize_t ni = nxt[i];
+        nxt[pi] = ni;
+        prv[ni] = pi;
+        double start = ck_place(s, s->jnodes[i], s->rt[i]);
+        s->path_i[depth] = i;
+        s->path_s[depth] = start;
+        placed++;
+        double wait = start - s->submit[i];
+        double e = wait - s->omega;
+        if (e > 0.0)
+            exc += e;
+        double den = s->denom[i];
+        slow += (wait + den) / den;
+        if (s->lds) {
+            if (pos)
+                k_left--;
+        }
+        else {
+            level++;
+        }
+        if (s->prune && ck_prune_child2(s, exc, slow, n - depth - 1)) {
+            pruned = 1;
+            break;
+        }
+    }
+    if (!pruned && !stopped) {
+        Py_ssize_t d = path_len;
+        if (s->lds)
+            rc = ck_dfs_lds2(s, n - d, k_left, exc, slow, d);
+        else
+            rc = ck_dfs_dds2(s, n - d, iteration, level, exc, slow, d);
+    }
+    if (stopped || rc == CK_STOP) {
+        s->limit_hit = 1;
+        if (rc == CK_STOP)
+            rc = CK_OK;
+    }
+    /* Unwind the replay trail (finally block): every trail placement is
+     * the current deepest undo frame, and relinking restores path_i[q]
+     * into the list in reverse order. */
+    for (Py_ssize_t q = placed - 1; q >= 0; q--) {
+        Py_ssize_t i = s->path_i[q];
+        ck_unplace(s);
+        nxt[prv[i]] = i;
+        prv[nxt[i]] = i;
+    }
+    return rc;
+}
+
+/* ------------------------------------------------------------------ */
+/* Python boundary: argument unpacking, arena allocation, result build */
+/* ------------------------------------------------------------------ */
+static void
+ck_free(Search *s)
+{
+    free(s->t);
+    free(s->f);
+    free(s->undo);
+    free(s->submit);
+    free(s->rt);
+    free(s->denom);
+    free(s->jnodes);
+    free(s->nxt);
+    free(s->prv);
+    free(s->path_i);
+    free(s->path_s);
+    free(s->best_i);
+    free(s->best_s);
+    free(s->any);
+    memset(s, 0, sizeof(*s));
+}
+
+/* Copy a Python list of numbers into a fresh double[] / long[]. */
+static double *
+ck_doubles_from(PyObject *seq, Py_ssize_t *len_out)
+{
+    Py_ssize_t len = PyList_GET_SIZE(seq);
+    double *out = malloc((size_t)(len > 0 ? len : 1) * sizeof(double));
+    if (out == NULL)
+        return NULL;
+    for (Py_ssize_t k = 0; k < len; k++) {
+        out[k] = PyFloat_AsDouble(PyList_GET_ITEM(seq, k));
+        if (out[k] == -1.0 && PyErr_Occurred()) {
+            free(out);
+            return NULL;
+        }
+    }
+    *len_out = len;
+    return out;
+}
+
+static long *
+ck_longs_from(PyObject *seq, Py_ssize_t *len_out)
+{
+    Py_ssize_t len = PyList_GET_SIZE(seq);
+    long *out = malloc((size_t)(len > 0 ? len : 1) * sizeof(long));
+    if (out == NULL)
+        return NULL;
+    for (Py_ssize_t k = 0; k < len; k++) {
+        out[k] = PyLong_AsLong(PyList_GET_ITEM(seq, k));
+        if (out[k] == -1 && PyErr_Occurred()) {
+            free(out);
+            return NULL;
+        }
+    }
+    *len_out = len;
+    return out;
+}
+
+static int
+ck_init(Search *s, int lds, long long node_limit, int prune,
+        int record_anytime, int first_leaf_exempt, long capacity, double eps,
+        PyObject *times, PyObject *frees, PyObject *submit, PyObject *jnodes,
+        PyObject *runtime, PyObject *denom, double now, double omega)
+{
+    memset(s, 0, sizeof(*s));
+    if (!PyList_Check(times) || !PyList_Check(frees) || !PyList_Check(submit)
+        || !PyList_Check(jnodes) || !PyList_Check(runtime)
+        || !PyList_Check(denom)) {
+        PyErr_SetString(PyExc_TypeError, "profile/job arrays must be lists");
+        return -1;
+    }
+    Py_ssize_t m0 = 0, mf = 0, n = 0, tmp = 0;
+    double *t0 = ck_doubles_from(times, &m0);
+    long *f0 = t0 ? ck_longs_from(frees, &mf) : NULL;
+    double *sub = f0 ? ck_doubles_from(submit, &n) : NULL;
+    long *jn = sub ? ck_longs_from(jnodes, &tmp) : NULL;
+    double *rt = jn ? ck_doubles_from(runtime, &tmp) : NULL;
+    double *den = rt ? ck_doubles_from(denom, &tmp) : NULL;
+    if (den == NULL) {
+        free(t0);
+        free(f0);
+        free(sub);
+        free(jn);
+        free(rt);
+        if (!PyErr_Occurred())
+            PyErr_NoMemory();
+        return -1;
+    }
+    if (m0 == 0 || m0 != mf || PyList_GET_SIZE(jnodes) != n
+        || PyList_GET_SIZE(runtime) != n || PyList_GET_SIZE(denom) != n) {
+        free(t0); free(f0); free(sub); free(jn); free(rt); free(den);
+        PyErr_SetString(PyExc_ValueError, "malformed profile/job arrays");
+        return -1;
+    }
+    /* Each of the <= n outstanding placements inserts <= 2 breakpoints. */
+    Py_ssize_t cap_m = m0 + 2 * n + 8;
+    s->t = malloc((size_t)cap_m * sizeof(double));
+    s->f = malloc((size_t)cap_m * sizeof(long));
+    s->undo = malloc((size_t)(n + 8) * sizeof(UndoFrame));
+    s->nxt = malloc((size_t)(n + 1) * sizeof(Py_ssize_t));
+    s->prv = malloc((size_t)(n + 1) * sizeof(Py_ssize_t));
+    s->path_i = malloc((size_t)(n > 0 ? n : 1) * sizeof(Py_ssize_t));
+    s->path_s = malloc((size_t)(n > 0 ? n : 1) * sizeof(double));
+    s->best_i = malloc((size_t)(n > 0 ? n : 1) * sizeof(Py_ssize_t));
+    s->best_s = malloc((size_t)(n > 0 ? n : 1) * sizeof(double));
+    if (!s->t || !s->f || !s->undo || !s->nxt || !s->prv || !s->path_i
+        || !s->path_s || !s->best_i || !s->best_s) {
+        free(t0); free(f0); free(sub); free(jn); free(rt); free(den);
+        ck_free(s);
+        PyErr_NoMemory();
+        return -1;
+    }
+    memcpy(s->t, t0, (size_t)m0 * sizeof(double));
+    memcpy(s->f, f0, (size_t)m0 * sizeof(long));
+    free(t0);
+    free(f0);
+    s->m = m0;
+    s->submit = sub;
+    s->jnodes = jn;
+    s->rt = rt;
+    s->denom = den;
+    s->n = n;
+    s->head = n;
+    /* _nxt = [1..n, 0], _prv = [n, 0..n-1]: jobs threaded in heuristic
+     * order through sentinel n (self-loops when n == 0). */
+    for (Py_ssize_t k = 0; k < n; k++) {
+        s->nxt[k] = k + 1;
+        s->prv[k] = k == 0 ? n : k - 1;
+    }
+    s->nxt[n] = n > 0 ? 0 : n;
+    s->prv[n] = n > 0 ? n - 1 : n;
+    s->capacity = capacity;
+    s->eps = eps;
+    s->now = now;
+    s->omega = omega;
+    s->node_limit = node_limit;
+    s->prune = prune;
+    s->lds = lds;
+    s->first_leaf_exempt = first_leaf_exempt;
+    s->record_anytime = record_anytime;
+    s->best_d = 0;
+    return 0;
+}
+
+static PyObject *
+ck_anytime_list(const Search *s)
+{
+    if (!s->record_anytime)
+        Py_RETURN_NONE;
+    PyObject *out = PyList_New(s->any_n);
+    if (out == NULL)
+        return NULL;
+    for (Py_ssize_t k = 0; k < s->any_n; k++) {
+        const AnyRec *rec = &s->any[k];
+        PyObject *item = Py_BuildValue(
+            "Lddn", rec->nodes_visited, rec->exc, rec->slow, rec->d);
+        if (item == NULL) {
+            Py_DECREF(out);
+            return NULL;
+        }
+        PyList_SET_ITEM(out, k, item);
+    }
+    return out;
+}
+
+static int
+ck_best_lists(const Search *s, PyObject **idx_out, PyObject **starts_out)
+{
+    PyObject *idxs = PyList_New(s->best_d);
+    PyObject *starts = idxs ? PyList_New(s->best_d) : NULL;
+    if (starts == NULL) {
+        Py_XDECREF(idxs);
+        return -1;
+    }
+    for (Py_ssize_t k = 0; k < s->best_d; k++) {
+        PyObject *iv = PyLong_FromSsize_t(s->best_i[k]);
+        PyObject *sv = iv ? PyFloat_FromDouble(s->best_s[k]) : NULL;
+        if (sv == NULL) {
+            Py_XDECREF(iv);
+            Py_DECREF(idxs);
+            Py_DECREF(starts);
+            return -1;
+        }
+        PyList_SET_ITEM(idxs, k, iv);
+        PyList_SET_ITEM(starts, k, sv);
+    }
+    *idx_out = idxs;
+    *starts_out = starts;
+    return 0;
+}
+
+static PyObject *
+ck_run_search_py(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    int lds, prune, record_anytime;
+    long long node_limit;
+    long capacity;
+    double eps, now, omega;
+    PyObject *times, *frees, *submit, *jnodes, *runtime, *denom;
+    if (!PyArg_ParseTuple(args, "iLiildOOOOOOdd", &lds, &node_limit, &prune,
+                          &record_anytime, &capacity, &eps, &times, &frees,
+                          &submit, &jnodes, &runtime, &denom, &now, &omega))
+        return NULL;
+    Search s;
+    if (ck_init(&s, lds, node_limit, prune, record_anytime,
+                /*first_leaf_exempt=*/1, capacity, eps, times, frees, submit,
+                jnodes, runtime, denom, now, omega) < 0)
+        return NULL;
+    int rc;
+    Py_BEGIN_ALLOW_THREADS
+    rc = ck_run_full(&s);
+    Py_END_ALLOW_THREADS
+    if (rc == CK_ERR || !s.best_valid) {
+        int oom = s.oom;
+        ck_free(&s);
+        if (oom)
+            return PyErr_NoMemory();
+        PyErr_SetString(PyExc_RuntimeError, "compiled search failed");
+        return NULL;
+    }
+    PyObject *idxs = NULL, *starts = NULL;
+    if (ck_best_lists(&s, &idxs, &starts) < 0) {
+        ck_free(&s);
+        return NULL;
+    }
+    PyObject *anytime = ck_anytime_list(&s);
+    if (anytime == NULL) {
+        Py_DECREF(idxs);
+        Py_DECREF(starts);
+        ck_free(&s);
+        return NULL;
+    }
+    PyObject *result = Py_BuildValue(
+        "ddnNNLLLiiN", s.b_exc, s.b_slow, s.best_d, idxs, starts,
+        s.nodes_visited, s.leaves_evaluated, s.iterations_started,
+        s.limit_hit, s.improved_after_first, anytime);
+    ck_free(&s);
+    return result;
+}
+
+static PyObject *
+ck_run_shard_py(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    int lds, prune, record_anytime;
+    long iteration, counted;
+    long long node_limit;
+    long capacity;
+    double eps, now, omega, seed_exc, seed_slow;
+    PyObject *path, *times, *frees, *submit, *jnodes, *runtime, *denom;
+    if (!PyArg_ParseTuple(args, "ilOlLiildOOOOOOdddd", &lds, &iteration,
+                          &path, &counted, &node_limit, &prune,
+                          &record_anytime, &capacity, &eps, &times, &frees,
+                          &submit, &jnodes, &runtime, &denom, &now, &omega,
+                          &seed_exc, &seed_slow))
+        return NULL;
+    if (!PyTuple_Check(path)) {
+        PyErr_SetString(PyExc_TypeError, "shard path must be a tuple");
+        return NULL;
+    }
+    Py_ssize_t path_len = PyTuple_GET_SIZE(path);
+    Py_ssize_t *cpath =
+        malloc((size_t)(path_len > 0 ? path_len : 1) * sizeof(Py_ssize_t));
+    if (cpath == NULL)
+        return PyErr_NoMemory();
+    for (Py_ssize_t k = 0; k < path_len; k++) {
+        cpath[k] = PyLong_AsSsize_t(PyTuple_GET_ITEM(path, k));
+        if (cpath[k] == -1 && PyErr_Occurred()) {
+            free(cpath);
+            return NULL;
+        }
+    }
+    Search s;
+    if (ck_init(&s, lds, node_limit, prune, record_anytime,
+                /*first_leaf_exempt=*/0, capacity, eps, times, frees, submit,
+                jnodes, runtime, denom, now, omega) < 0) {
+        free(cpath);
+        return NULL;
+    }
+    /* Seed the leader's iteration-0 incumbent: the shard reports a best
+     * only on strict improvement (has_order stays 0 otherwise). */
+    s.best_valid = 1;
+    s.has_order = 0;
+    s.b_exc = seed_exc;
+    s.b_slow = seed_slow;
+    int rc;
+    Py_BEGIN_ALLOW_THREADS
+    rc = ck_run_shard(&s, iteration, cpath, path_len, counted);
+    Py_END_ALLOW_THREADS
+    free(cpath);
+    if (rc == CK_ERR) {
+        int oom = s.oom;
+        ck_free(&s);
+        if (oom)
+            return PyErr_NoMemory();
+        PyErr_SetString(PyExc_RuntimeError, "compiled shard failed");
+        return NULL;
+    }
+    PyObject *idxs = NULL, *starts = NULL;
+    if (ck_best_lists(&s, &idxs, &starts) < 0) {
+        ck_free(&s);
+        return NULL;
+    }
+    PyObject *anytime = ck_anytime_list(&s);
+    if (anytime == NULL) {
+        Py_DECREF(idxs);
+        Py_DECREF(starts);
+        ck_free(&s);
+        return NULL;
+    }
+    PyObject *result = Py_BuildValue(
+        "iddnNNLLiN", s.has_order, s.b_exc, s.b_slow, s.best_d, idxs, starts,
+        s.nodes_visited, s.leaves_evaluated, s.limit_hit, anytime);
+    ck_free(&s);
+    return result;
+}
+
+static PyMethodDef ck_methods[] = {
+    {"run_search", ck_run_search_py, METH_VARARGS,
+     "Full delta-kernel search; mirrors _FastSearchRun.run() bit-for-bit.\n"
+     "(lds, node_limit, prune, record_anytime, capacity, eps, times, frees,\n"
+     " submit, nodes, runtime, denom, now, omega) ->\n"
+     "(best_exc, best_slow, best_d, best_idx, best_starts, nodes_visited,\n"
+     " leaves_evaluated, iterations_started, limit_hit,\n"
+     " improved_after_first, anytime|None)"},
+    {"run_shard", ck_run_shard_py, METH_VARARGS,
+     "One parallel-engine shard; mirrors _ShardRun.run_shard().\n"
+     "(lds, iteration, path, counted, node_limit, prune, record_anytime,\n"
+     " capacity, eps, times, frees, submit, nodes, runtime, denom, now,\n"
+     " omega, seed_exc, seed_slow) ->\n"
+     "(has_order, best_exc, best_slow, best_d, best_idx, best_starts,\n"
+     " nodes_visited, leaves_evaluated, limit_hit, anytime|None)"},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef ck_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.core._ckernel",
+    "Compiled discrepancy-search kernel (see repro.core.ckernel).",
+    -1,
+    ck_methods,
+    NULL,
+    NULL,
+    NULL,
+    NULL,
+};
+
+PyMODINIT_FUNC
+PyInit__ckernel(void)
+{
+    return PyModule_Create(&ck_module);
+}

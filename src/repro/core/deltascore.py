@@ -56,6 +56,7 @@ the pure-python loop instead (measured crossover; see
 
 from __future__ import annotations
 
+import os
 from typing import Any, Mapping, Sequence
 
 from repro.simulator.job import Job
@@ -65,12 +66,34 @@ try:  # numpy is a hard dependency, but degrade gracefully if absent
 except Exception:  # pragma: no cover - exercised only on stripped installs
     _np = None  # type: ignore[assignment]
 
+def _chain_vector_min() -> int:
+    """The numpy crossover, overridable via ``REPRO_CHAIN_VECTOR_MIN``.
+
+    Hosts differ (numpy build, allocator, core speed), so the measured
+    default can be re-tuned per machine without editing code — run
+    ``benchmarks/bench_chain_crossover.py`` to measure, then export the
+    result.  Unparseable or negative values fall back to the default.
+    """
+    raw = os.environ.get("REPRO_CHAIN_VECTOR_MIN")
+    if raw is not None:
+        try:
+            value = int(raw)
+        except ValueError:
+            return 96
+        if value >= 0:
+            return value
+    return 96
+
+
 #: Minimum chain length for the vectorized leaf fold.  Below this the
 #: pure-python loop wins (numpy's per-call overhead — array creation,
 #: fancy-index gathers, ufunc dispatch — outweighs the loop savings).
-#: Measured on the 30-job bench decision point and synthetic long queues;
-#: typical per-decision queues sit well under it.
-CHAIN_VECTOR_MIN = 96
+#: Measured on the 30-job bench decision point and synthetic long queues
+#: (re-measure on your host with ``benchmarks/bench_chain_crossover.py``);
+#: typical per-decision queues sit well under it.  Read once at import;
+#: set ``REPRO_CHAIN_VECTOR_MIN`` before importing (or monkeypatch this
+#: attribute — the engines read it dynamically) to override.
+CHAIN_VECTOR_MIN = _chain_vector_min()
 
 
 class JobArrays:

@@ -53,6 +53,7 @@ import sys
 import time
 from typing import Any, Callable, Sequence
 
+from repro.core.ckernel import compiled_shard_run
 from repro.core.objective import ScheduleScore
 from repro.core.search import (
     SearchProblem,
@@ -269,7 +270,9 @@ class _ShardRun(_FastSearchRun):
                 prv[nxt[i]] = i
 
 
-def _outcome_of(run: _ShardRun, rank: int) -> ShardOutcome:
+def _outcome_of(run: Any, rank: int) -> ShardOutcome:
+    """Fold a finished shard runner (pure-python ``_ShardRun`` or the
+    compiled kernel's ``_CompiledShardRun`` — same attribute surface)."""
     order: tuple[int, ...] = ()
     starts: tuple[float, ...] = ()
     best: Any = None
@@ -286,6 +289,32 @@ def _outcome_of(run: _ShardRun, rank: int) -> ShardOutcome:
         best_starts=starts,
         best_score=best,
         improvements=tuple(run.anytime) if run.anytime is not None else (),
+    )
+
+
+def _make_shard_run(
+    problem: SearchProblem,
+    algorithm: str,
+    budget: int | None,
+    prune: bool,
+    record_anytime: bool,
+    incumbent: Any,
+    poll: Callable[[], Any] | None,
+    publish: Callable[[Any], None] | None,
+) -> Any:
+    """Pick a shard runner: the compiled kernel when it can carry the task
+    (present, eligible problem, no blackboard sharing — the poll cadence is
+    a pure-python facility), the ``_ShardRun`` DFS otherwise.  Either way
+    the outcome bits are identical; only wall time differs."""
+    if poll is None and publish is None:
+        compiled = compiled_shard_run(
+            problem, algorithm, budget, prune, record_anytime, incumbent
+        )
+        if compiled is not None:
+            return compiled
+    return _ShardRun(
+        problem, algorithm, budget, prune, record_anytime, incumbent,
+        poll, publish,
     )
 
 
@@ -349,7 +378,7 @@ def _execute_tasks(
     try:
         outcomes: list[ShardOutcome] = []
         for rank, iteration, path, counted, budget in tasks:
-            run = _ShardRun(
+            run = _make_shard_run(
                 problem, algorithm, budget, prune, record_anytime, incumbent,
                 poll, publish,
             )

@@ -55,8 +55,9 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any, Callable, Mapping, Sequence, Union
 
+from repro.core import deltascore
 from repro.core.criteria import CriteriaEvaluator, MultiScore
-from repro.core.deltascore import CHAIN_VECTOR_MIN, JobArrays, fold_chain_terms
+from repro.core.deltascore import JobArrays, fold_chain_terms
 from repro.core.objective import ObjectiveConfig, ScheduleScore
 from repro.core.profile import AvailabilityProfile
 from repro.core.search_tree import max_discrepancies
@@ -243,7 +244,7 @@ class DiscrepancySearch:
             raise ValueError("local_search_fraction must be in [0, 1)")
         if self.time_limit_seconds is not None and self.time_limit_seconds <= 0:
             raise ValueError("time_limit_seconds must be > 0 or None")
-        engines = (*_ENGINES, "parallel")
+        engines = (*_ENGINES, "parallel", "compiled")
         if self.engine not in engines:
             raise ValueError(
                 f"unknown engine {self.engine!r}; choose from {engines}"
@@ -290,6 +291,20 @@ class DiscrepancySearch:
                 self.record_anytime,
                 search_workers=self.search_workers,
                 share_incumbent=self.share_incumbent,
+            )
+        elif self.engine == "compiled":
+            # Imported lazily, like the parallel engine: the wrapper
+            # falls back to _FastSearchRun when the extension is absent
+            # or the search needs a facility the kernel omits.
+            from repro.core.ckernel import _CompiledSearchRun
+
+            runner = _CompiledSearchRun(
+                problem,
+                self.algorithm,
+                tree_budget,
+                self.prune,
+                self.record_anytime,
+                self.time_limit_seconds,
             )
         else:
             runner = _ENGINES[self.engine](
@@ -765,7 +780,9 @@ class _FastSearchRun(_SearchRunBase):
         ck = profile.checkpoint()
         try:
             self.nodes_visited += k
-            if k >= CHAIN_VECTOR_MIN:
+            # Attribute read, not an import-time binding: tests and the
+            # REPRO_CHAIN_VECTOR_MIN override retune the crossover live.
+            if k >= deltascore.CHAIN_VECTOR_MIN:
                 profile.place_run(
                     path_i, d, k, self._sa_nodes, self._sa_rt, self._now, path_s
                 )

@@ -27,6 +27,7 @@ from typing import Any
 from hypothesis import strategies as st
 
 from repro.core.branching import order_jobs
+from repro.core.ckernel import have_compiled
 from repro.core.exact import solve_exact
 from repro.core.objective import FixedBound, ObjectiveConfig
 from repro.core.profile import AvailabilityProfile
@@ -39,6 +40,7 @@ from repro.util.timeunits import HOUR
 
 __all__ = [
     "build_problem",
+    "CONFORMANCE_ENGINES",
     "fingerprint",
     "instance_specs",
     "InstanceSpec",
@@ -46,6 +48,16 @@ __all__ = [
     "RecordingSearcher",
     "replay_workload",
 ]
+
+#: Every engine the differential tests hold to the bit-identity contract,
+#: resolved once for the whole suite.  The compiled kernel joins only
+#: when its extension is importable: without it ``engine="compiled"``
+#: silently falls back to ``"fast"``, which would make its inclusion
+#: vacuous rather than wrong (the fallback itself is covered explicitly
+#: in ``test_compiled_kernel.py``).
+CONFORMANCE_ENGINES: tuple[str, ...] = ("fast", "reference", "parallel") + (
+    ("compiled",) if have_compiled() else ()
+)
 
 
 def fingerprint(result: SearchResult) -> tuple[Any, ...]:

@@ -16,6 +16,7 @@ import json
 
 import pytest
 
+from repro.core.ckernel import have_compiled
 from repro.experiments import bench as bench_mod
 from repro.experiments.bench import POLICIES, check_bench, run_bench
 from repro.util.workerpool import available_cores
@@ -31,9 +32,18 @@ def report():
 
 
 def test_report_has_every_row_family(report):
-    """Per (policy, L): fast, reference, parallel, and prune-ablation."""
+    """Per (policy, L): fast, reference, parallel, prune-ablation — and a
+    compiled row exactly when the kernel is importable on this host."""
     assert report["schema"] == bench_mod.SCHEMA
     rows = report["configs"]
+    expected = [
+        ("fast", False),
+        ("fast", True),
+        ("parallel", False),
+        ("reference", False),
+    ]
+    if have_compiled():
+        expected.insert(0, ("compiled", False))
     for algorithm, heuristic in POLICIES:
         for L in TOY_LIMITS:
             match = [
@@ -42,12 +52,7 @@ def test_report_has_every_row_family(report):
                 if r["algorithm"] == algorithm and r["node_limit"] == L
             ]
             engines = sorted((r["engine"], r["prune"]) for r in match)
-            assert engines == [
-                ("fast", False),
-                ("fast", True),
-                ("parallel", False),
-                ("reference", False),
-            ]
+            assert engines == expected
     for row in rows:
         assert row["nodes_per_second"] > 0
         if row["engine"] == "parallel":
@@ -66,10 +71,31 @@ def test_speedup_key_families_are_complete(report):
     plain = {k for k in report["speedups"] if ":" not in k}
     parallel = {k for k in report["speedups"] if ":parallel" in k}
     prune = {k for k in report["speedups"] if ":prune" in k}
+    compiled = {k for k in report["speedups"] if k.endswith(":compiled")}
     assert len(plain) == len(POLICIES) * len(TOY_LIMITS)
     assert len(parallel) == len(plain)
     assert len(prune) == len(plain)
+    assert len(compiled) == (len(plain) if have_compiled() else 0)
     assert all(v > 0 for v in report["speedups"].values())
+
+
+def test_compiled_available_field_is_honest(report):
+    """Like ``cores``: the report records whether the kernel measured,
+    and compiled rows exist exactly when it says so."""
+    assert report["compiled_available"] == have_compiled()
+    has_rows = any(r["engine"] == "compiled" for r in report["configs"])
+    assert has_rows == report["compiled_available"]
+
+
+def test_e2e_section_measures_whole_run_throughput(report):
+    """The v3 end-to-end section: a fast-engine replay row always, plus a
+    compiled row exactly when the kernel is importable."""
+    engines = [r["engine"] for r in report["e2e"]]
+    assert engines == (["fast", "compiled"] if have_compiled() else ["fast"])
+    for row in report["e2e"]:
+        assert row["decisions"] > 0
+        assert row["decisions_per_second"] > 0
+        assert row["policy"].startswith("DDS/lxf/dynB")
 
 
 def test_parallel_identity_assert_fires_on_divergence(monkeypatch):
@@ -85,6 +111,23 @@ def test_parallel_identity_assert_fires_on_divergence(monkeypatch):
 
     monkeypatch.setattr(bench_mod, "time_search", skewed)
     with pytest.raises(AssertionError, match="parallel engine disagrees"):
+        run_bench(repeats=1, search_workers=1, limits=(40,))
+
+
+@pytest.mark.skipif(not have_compiled(), reason="compiled kernel not built")
+def test_compiled_identity_assert_fires_on_divergence(monkeypatch):
+    """Same contract as the parallel rows: a compiled result differing
+    from fast by one field aborts the report."""
+    real = bench_mod.time_search
+
+    def skewed(problem, algorithm, node_limit, engine, **kwargs):
+        result, seconds = real(problem, algorithm, node_limit, engine, **kwargs)
+        if engine == "compiled":
+            result.nodes_visited += 1
+        return result, seconds
+
+    monkeypatch.setattr(bench_mod, "time_search", skewed)
+    with pytest.raises(AssertionError, match="compiled engine disagrees"):
         run_bench(repeats=1, search_workers=1, limits=(40,))
 
 
@@ -105,13 +148,53 @@ def test_check_bench_flags_collapsed_throughput(report):
 
 
 def test_check_bench_ignores_machine_dependent_families(report):
-    """Parallel/prune ratios move with the host's core count; only the
-    serial fast/reference family is banded."""
+    """Parallel/prune ratios move with the host's core count; the serial
+    fast/reference and compiled/reference families are the banded ones."""
     degraded = json.loads(json.dumps(report))
     for key in degraded["speedups"]:
-        if ":" in key:
+        if ":parallel" in key or ":prune" in key:
             degraded["speedups"][key] *= 0.01
     assert check_bench(degraded, report) == []
+
+
+@pytest.mark.skipif(not have_compiled(), reason="compiled kernel not built")
+def test_check_bench_bands_the_compiled_family(report):
+    """A collapsed compiled/reference ratio must fail the check — but only
+    when both reports actually measured the kernel."""
+    degraded = json.loads(json.dumps(report))
+    for key in degraded["speedups"]:
+        if key.endswith(":compiled"):
+            degraded["speedups"][key] *= 0.01
+    failures = check_bench(degraded, report)
+    assert any("compiled/reference" in f for f in failures)
+    # A pure-python fresh run never fails against a compiled baseline.
+    degraded["compiled_available"] = False
+    assert check_bench(degraded, report) == []
+
+
+def test_check_bench_bands_e2e_throughput(report):
+    degraded = json.loads(json.dumps(report))
+    for row in degraded["e2e"]:
+        row["decisions_per_second"] *= 0.01
+    failures = check_bench(degraded, report)
+    assert any("decisions/s below" in f for f in failures)
+
+
+def test_check_bench_tolerates_v2_baseline_without_e2e(report):
+    """Old committed reports predate the e2e section and the compiled
+    family; a fresh v3 run must check cleanly against them."""
+    v2 = json.loads(json.dumps(report))
+    del v2["e2e"]
+    del v2["compiled_available"]
+    v2["speedups"] = {
+        k: v for k, v in v2["speedups"].items() if not k.endswith(":compiled")
+    }
+    v2["configs"] = [r for r in v2["configs"] if r["engine"] != "compiled"]
+    v2["tolerance"] = {
+        "min_speedup_frac": 0.65,
+        "min_nodes_per_second_frac": 0.40,
+    }
+    assert check_bench(report, v2) == []
 
 
 def test_quick_run_checks_against_full_baseline(report):
