@@ -24,6 +24,14 @@ Commands
     cProfile the first N decision points of a run and print the top-k
     cumulative hot spots (optionally dumping pstats) — the attribution
     tool behind the compiled-kernel work.
+``serve``
+    Run the resilient scheduler-as-a-service over JSONL stdio: register
+    tenants, stream job arrivals, get SLO-bounded (possibly degraded,
+    always labeled) decisions back (see ``docs/service.md``).
+``loadgen``
+    Benchmark the decision service with a deterministic multi-tenant
+    closed-loop workload and write the ``BENCH_service.json`` report
+    (throughput, p50/p99 latency, degradation counts).
 ``lint``
     Run simlint (``python -m repro.lint``) over the tree; all simlint
     flags pass through (see ``docs/linting.md``).
@@ -460,6 +468,116 @@ def cmd_optgap(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.experiments.loadgen import check_loadgen, run_loadgen, write_loadgen
+
+    if args.check:
+        # Smoke mode: re-measure and judge against the committed report's
+        # tolerance band — nothing is overwritten (mirrors bench --check).
+        committed_path = Path(args.out)
+        if not committed_path.exists():
+            raise CliError(f"no committed report at {committed_path} to check against")
+        committed = json.loads(committed_path.read_text())
+        fresh = run_loadgen(
+            quick=args.quick,
+            tenants=args.tenants,
+            requests=args.requests,
+            seed=args.seed,
+            deadline=args.deadline,
+        )
+        failures = check_loadgen(fresh, committed)
+        for failure in failures:
+            print(f"TOLERANCE FAIL: {failure}")
+        if failures:
+            return 1
+        print(f"within tolerance of {committed_path}")
+        return 0
+    report = write_loadgen(
+        args.out,
+        quick=args.quick,
+        tenants=args.tenants,
+        requests=args.requests,
+        seed=args.seed,
+        deadline=args.deadline,
+    )
+    results = report["results"]
+    lat = results["latency_seconds"]
+    print(
+        f"wrote {args.out} ({results['total_requests']} requests, "
+        f"{results['throughput_rps']:,.1f} req/s, "
+        f"p50 {lat['p50'] * 1000:.1f}ms, p99 {lat['p99'] * 1000:.1f}ms, "
+        f"{results['degraded_responses']} degraded)"
+    )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """JSONL-over-stdio decision service (see ``docs/service.md``).
+
+    One JSON object per input line; one JSON response object per line on
+    stdout.  ``{"op": "register", "tenant": ...}`` admits a tenant,
+    ``{"op": "decide", ...}`` (a :class:`DecisionRequest` payload) asks
+    for decisions, ``{"op": "close"}`` (or EOF) shuts down cleanly.
+    """
+    import asyncio
+
+    from repro.service.api import DecisionRequest, TenantSLO
+    from repro.service.service import (
+        AdmissionError,
+        DecisionService,
+        ServiceConfig,
+    )
+    from repro.service.tenant import TenantError
+
+    config = ServiceConfig(
+        snapshot_root=args.snapshot_dir,
+        snapshot_every_decisions=args.snapshot_every,
+    )
+    service = DecisionService(
+        lambda tenant_id: parse_policy(args.policy, args.node_limit, True),
+        config=config,
+    )
+
+    def emit(payload: dict) -> None:
+        print(json.dumps(payload), flush=True)
+
+    async def serve() -> int:
+        loop = asyncio.get_running_loop()
+        async with service:
+            while True:
+                line = await loop.run_in_executor(None, sys.stdin.readline)
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    message = json.loads(line)
+                    op = message.get("op", "decide")
+                    if op == "close":
+                        break
+                    if op == "register":
+                        slo = (
+                            TenantSLO.from_dict(message["slo"])
+                            if "slo" in message
+                            else None
+                        )
+                        service.register_tenant(message["tenant"], slo=slo)
+                        emit({"tenant": message["tenant"], "status": "registered"})
+                        continue
+                    if op != "decide":
+                        emit({"status": "error", "error": f"unknown op {op!r}"})
+                        continue
+                    request = DecisionRequest.from_dict(message)
+                    response = await service.submit(request)
+                    emit(response.to_dict())
+                except (AdmissionError, TenantError, KeyError, ValueError) as exc:
+                    emit({"status": "error", "error": str(exc)})
+        return 0
+
+    return asyncio.run(serve())
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import main as lint_main
 
@@ -727,6 +845,67 @@ def build_parser() -> argparse.ArgumentParser:
         "tolerance block instead of overwriting it (exit 1 on violation)",
     )
     optgap.set_defaults(func=cmd_optgap)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="benchmark the decision service and write BENCH_service.json",
+        description="Drive the scheduler-as-a-service stack with a "
+        "deterministic multi-tenant closed-loop workload and record "
+        "throughput and p50/p99 decision latency (docs/service.md).",
+    )
+    loadgen.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer tenants/requests (CI smoke mode; report marks quick=true)",
+    )
+    loadgen.add_argument(
+        "--out", default="BENCH_service.json", help="report path (default: repo root)"
+    )
+    loadgen.add_argument(
+        "--tenants", type=int, default=None, help="override the tenant count"
+    )
+    loadgen.add_argument(
+        "--requests", type=int, default=None, help="requests per tenant"
+    )
+    loadgen.add_argument("--seed", type=int, default=2005)
+    loadgen.add_argument(
+        "--deadline",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="per-request SLO deadline (default 2.0)",
+    )
+    loadgen.add_argument(
+        "--check",
+        action="store_true",
+        help="re-measure and verify against the committed --out report's "
+        "tolerance band instead of overwriting it (exit 1 on violation)",
+    )
+    loadgen.set_defaults(func=cmd_loadgen)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the decision service over JSONL stdio",
+        description="Read JSON requests line by line from stdin and write "
+        "one JSON response per line to stdout; see docs/service.md for "
+        "the register/decide/close protocol and the SLO semantics.",
+    )
+    serve.add_argument("--policy", default="dds/lxf/dynB", help="policy spec")
+    serve.add_argument("--node-limit", type=int, default=1000, help="search budget L")
+    serve.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help="persist tenant snapshots under DIR (enables crash recovery)",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="snapshot a tenant every N decisions (default 64)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     lint = sub.add_parser(
         "lint",

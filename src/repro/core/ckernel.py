@@ -31,6 +31,7 @@ fingerprints and the Hypothesis engine-conformance fuzzer in
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Any
 
 from repro.core.deltascore import JobArrays
@@ -50,6 +51,27 @@ except Exception:  # pragma: no cover - exercised on pure-python installs
 def have_compiled() -> bool:
     """Whether the compiled search kernel is importable in this install."""
     return _impl is not None
+
+
+def pure_python_requested() -> bool:
+    """Whether ``REPRO_PURE_PYTHON=1`` opts this process out of the kernel."""
+    return os.environ.get("REPRO_PURE_PYTHON", "").strip() == "1"
+
+
+def default_engine() -> str:
+    """The sequential engine a policy should default to in this install.
+
+    ``"compiled"`` when the extension is importable — results are
+    bit-identical to ``"fast"`` by the conformance harness, so the faster
+    engine is safe to prefer — and ``"fast"`` otherwise, or when the
+    ``REPRO_PURE_PYTHON=1`` escape hatch asks for the pure-python path
+    (debugging, profiling the reference implementation, bisecting a
+    suspected kernel discrepancy).  Read at policy-construction time, so
+    tests can flip the environment per policy.
+    """
+    if have_compiled() and not pure_python_requested():
+        return "compiled"
+    return "fast"
 
 
 def _kernel_eligible(problem: "SearchProblem", time_limit_seconds: float | None) -> bool:

@@ -29,6 +29,7 @@ from repro.core.criteria import (
     DecisionContext,
     UsageTracker,
 )
+from repro.core.ckernel import default_engine
 from repro.core.profile import AvailabilityProfile
 from repro.core.search import DiscrepancySearch, SearchProblem
 from repro.predict.source import RuntimeSource, resolve_runtime_source
@@ -266,8 +267,10 @@ def make_policy(
     fixed bound, or ``None`` for the dynamic bound (dynB).
     ``runtime_source`` follows
     :func:`repro.predict.source.resolve_runtime_source`.
-    ``search_workers > 1`` selects ``engine="parallel"`` — same results,
-    decided faster.
+    ``search_workers > 1`` selects ``engine="parallel"``; otherwise the
+    sequential engine defaults to the compiled kernel when it is built
+    (:func:`repro.core.ckernel.default_engine` — bit-identical results,
+    silent fallback, ``REPRO_PURE_PYTHON=1`` opts out).
     """
     if bound is None:
         resolved: TargetBound = DynamicBound()
@@ -283,6 +286,6 @@ def make_policy(
         runtime_source=runtime_source,
         prune=prune,
         criteria=criteria,
-        engine="parallel" if search_workers > 1 else "fast",
+        engine="parallel" if search_workers > 1 else default_engine(),
         search_workers=search_workers,
     )

@@ -497,6 +497,9 @@ _SITES_FALLBACK = (
     "cache.read",
     "cache.write",
     "engine.step",
+    "service.request",
+    "service.decide",
+    "service.snapshot",
 )
 
 

@@ -1,0 +1,119 @@
+"""Crash recovery of tenant state: checksummed, rotated snapshots.
+
+A service crash must not cost a tenant its schedule.  Every tenant's
+engine periodically persists its :meth:`~repro.service.tenant
+.TenantEngine.snapshot_record` in the same checksummed envelope as batch
+checkpoints (:func:`repro.simulator.checkpoint.dump_snapshot` — magic,
+sha256, one pickle blob so object aliasing survives), written atomically
+and rotated so the previous snapshot is only dropped once the new one is
+durably on disk.
+
+Recovery mirrors :func:`repro.simulator.checkpoint.latest_checkpoint`:
+scan newest-first, skip anything torn or rotted (checksum failure), and
+restore the first loadable snapshot.  The injected-fault site
+``service.snapshot`` corrupts the persisted bytes of one save — the chaos
+suite uses it to prove the fallback actually engages.
+
+Layout: ``<root>/<tenant_id>/snap-<decision_count>.pkl``.  Tenant ids
+double as directory names, so the service only admits ids matching
+:data:`TENANT_ID_PATTERN`.
+"""
+
+from __future__ import annotations
+
+import logging
+import re
+from pathlib import Path
+
+from repro.service.tenant import TenantEngine
+from repro.simulator.checkpoint import (
+    CorruptCheckpoint,
+    dump_snapshot,
+    parse_snapshot,
+)
+from repro.util import faults
+from repro.util.atomio import atomic_write_bytes
+
+log = logging.getLogger("repro.service.recovery")
+
+#: Tenant ids become directory names; keep them filesystem-safe.
+TENANT_ID_PATTERN = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+#: Filename pattern of tenant snapshots (decision count, sorts in order).
+SNAPSHOT_GLOB = "snap-*.pkl"
+
+
+def valid_tenant_id(tenant_id: str) -> bool:
+    return TENANT_ID_PATTERN.match(tenant_id) is not None
+
+
+def tenant_directory(root: str | Path, tenant_id: str) -> Path:
+    if not valid_tenant_id(tenant_id):
+        raise ValueError(f"tenant id {tenant_id!r} is not filesystem-safe")
+    return Path(root) / tenant_id
+
+
+def snapshot_tenant(
+    engine: TenantEngine, root: str | Path, keep: int = 2
+) -> Path:
+    """Persist one snapshot of ``engine``; returns the written path.
+
+    The ``service.snapshot`` fault site corrupts the bytes *after*
+    checksumming (a truncated write), so the file exists but fails
+    validation on load — exactly the torn-write shape recovery must
+    survive.
+    """
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
+    directory = tenant_directory(root, engine.tenant_id)
+    raw = dump_snapshot(engine.snapshot_record())
+    if faults.should_fire("service.snapshot"):
+        raw = raw[: max(1, len(raw) // 2)]
+    path = directory / f"snap-{engine.decision_count:012d}.pkl"
+    atomic_write_bytes(path, raw)
+    snapshots = sorted(directory.glob(SNAPSHOT_GLOB))
+    for old in snapshots[:-keep]:
+        old.unlink(missing_ok=True)
+    return path
+
+
+def latest_tenant_snapshot(
+    root: str | Path, tenant_id: str
+) -> TenantEngine | None:
+    """Restore the newest *loadable* snapshot of ``tenant_id``, if any.
+
+    Corrupt snapshots are skipped with a logged warning; ``None`` means
+    no usable snapshot exists (fresh tenant).
+    """
+    directory = tenant_directory(root, tenant_id)
+    if not directory.is_dir():
+        return None
+    for path in sorted(directory.glob(SNAPSHOT_GLOB), reverse=True):
+        try:
+            record = parse_snapshot(path.read_bytes(), origin=str(path))
+            return TenantEngine.from_snapshot_record(record)
+        except (OSError, CorruptCheckpoint, TypeError, KeyError) as exc:
+            log.warning("skipping unusable tenant snapshot: %s", exc)
+    return None
+
+
+def restore_tenant(root: str | Path, tenant_id: str) -> TenantEngine:
+    """Like :func:`latest_tenant_snapshot` but a missing snapshot is an error."""
+    engine = latest_tenant_snapshot(root, tenant_id)
+    if engine is None:
+        raise FileNotFoundError(
+            f"no usable snapshot for tenant {tenant_id!r} under {root}"
+        )
+    return engine
+
+
+def list_tenants(root: str | Path) -> list[str]:
+    """Tenant ids with at least one snapshot file under ``root`` (sorted)."""
+    base = Path(root)
+    if not base.is_dir():
+        return []
+    found = []
+    for child in sorted(base.iterdir()):
+        if child.is_dir() and sorted(child.glob(SNAPSHOT_GLOB)):
+            found.append(child.name)
+    return found

@@ -86,6 +86,43 @@ def checkpoint_path(directory: str | Path, decision_count: int) -> Path:
     return Path(directory) / f"ckpt-{decision_count:012d}.pkl"
 
 
+# ----------------------------------------------------------------------
+# Generic checksummed-snapshot envelope.  The simulation checkpoints below
+# and the service tenant snapshots (repro.service.recovery) share this
+# format, so every resumable artifact in the system gets the same torn-
+# write detection for free.
+# ----------------------------------------------------------------------
+def dump_snapshot(record: dict[str, Any]) -> bytes:
+    """Serialize ``record`` into the checksummed on-disk envelope."""
+    blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(blob).hexdigest().encode("ascii")
+    return MAGIC + digest + b"\n" + blob
+
+
+def parse_snapshot(raw: bytes, origin: str = "snapshot") -> dict[str, Any]:
+    """Validate the envelope and unpickle its record.
+
+    Raises :class:`CorruptCheckpoint` on bad magic, a checksum mismatch
+    (torn write, disk rot, injected corruption) or an unpicklable blob —
+    callers treat any of those as "this snapshot does not exist" and fall
+    back to an older one.
+    """
+    if not raw.startswith(MAGIC):
+        raise CorruptCheckpoint(f"{origin}: bad magic (not a repro checkpoint)")
+    header, sep, blob = raw[len(MAGIC) :].partition(b"\n")
+    if not sep or len(header) != 64:
+        raise CorruptCheckpoint(f"{origin}: malformed checksum header")
+    if hashlib.sha256(blob).hexdigest().encode("ascii") != header:
+        raise CorruptCheckpoint(f"{origin}: checksum mismatch (torn write?)")
+    try:
+        record = pickle.loads(blob)
+    except Exception as exc:
+        raise CorruptCheckpoint(f"{origin}: unpicklable blob ({exc})") from None
+    if not isinstance(record, dict):
+        raise CorruptCheckpoint(f"{origin}: blob is not a snapshot record")
+    return record
+
+
 def save_checkpoint(sim: "Simulation", state: "LoopState") -> Path:
     """Snapshot ``sim`` + ``state`` into the configured directory."""
     config = sim.checkpoint
@@ -97,10 +134,8 @@ def save_checkpoint(sim: "Simulation", state: "LoopState") -> Path:
         "run_stream": rng.run_stream(),
         "meta": dict(config.meta),
     }
-    blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
-    digest = hashlib.sha256(blob).hexdigest().encode("ascii")
     path = checkpoint_path(config.directory, state.decision_count)
-    atomic_write_bytes(path, MAGIC + digest + b"\n" + blob)
+    atomic_write_bytes(path, dump_snapshot(record))
     _rotate(path.parent, config.keep)
     return path
 
@@ -114,19 +149,8 @@ def _rotate(directory: Path, keep: int) -> None:
 
 def load_checkpoint(path: str | Path) -> CheckpointState:
     """Validate and unpickle one snapshot; raises :class:`CorruptCheckpoint`."""
-    raw = Path(path).read_bytes()
-    if not raw.startswith(MAGIC):
-        raise CorruptCheckpoint(f"{path}: bad magic (not a repro checkpoint)")
-    header, sep, blob = raw[len(MAGIC) :].partition(b"\n")
-    if not sep or len(header) != 64:
-        raise CorruptCheckpoint(f"{path}: malformed checksum header")
-    if hashlib.sha256(blob).hexdigest().encode("ascii") != header:
-        raise CorruptCheckpoint(f"{path}: checksum mismatch (torn write?)")
-    try:
-        record = pickle.loads(blob)
-    except Exception as exc:
-        raise CorruptCheckpoint(f"{path}: unpicklable blob ({exc})") from None
-    if not isinstance(record, dict) or "simulation" not in record or "state" not in record:
+    record = parse_snapshot(Path(path).read_bytes(), origin=str(path))
+    if "simulation" not in record or "state" not in record:
         raise CorruptCheckpoint(f"{path}: blob is not a checkpoint record")
     return CheckpointState(
         simulation=record["simulation"],

@@ -15,13 +15,23 @@ state (event queue, cluster, queue, accumulators, policy, RNG stream) is
 snapshotted every N decisions; :func:`repro.simulator.checkpoint.resume`
 continues an interrupted run to a bit-identical finish (see
 ``docs/robustness.md``).
+
+The loop body itself is one method — :meth:`Simulation.consume_batch`
+processes a single simultaneous event batch (accounting, completions
+before arrivals, exactly one policy decision, job starts) — so a caller
+that receives events incrementally can drive the very same code the batch
+loop runs.  :meth:`Simulation.open_ended` builds a :class:`Simulation`
+without a pre-declared workload for exactly that purpose: the
+scheduler-as-a-service tenant engine (:mod:`repro.service.tenant`) feeds
+arrival events as they come and stays bit-identical to a batch run over
+the same trace because both paths share :meth:`consume_batch`.
 """
 
 from __future__ import annotations
 
 import time as _wallclock
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.metrics.timeseries import StateTimeSeries
 from repro.simulator.checkpoint import CheckpointConfig, save_checkpoint
@@ -83,6 +93,16 @@ class LoopState:
     saved_at: int = -1
 
 
+#: Signature of a decision override handed to :meth:`Simulation.consume_batch`
+#: — same contract as :meth:`~repro.simulator.policy.SchedulingPolicy.decide`.
+#: The service layer uses it to route a decision through its degradation
+#: ladder while everything else (state update, validation, job starts)
+#: stays the engine's.
+DecideFn = Callable[
+    [float, "tuple[Job, ...]", "tuple[RunningJob, ...]", Cluster], "list[Job]"
+]
+
+
 class Simulation:
     """One simulation run.
 
@@ -132,6 +152,36 @@ class Simulation:
         self.record_timeseries = record_timeseries
         self.checkpoint = checkpoint
 
+    @classmethod
+    def open_ended(
+        cls,
+        policy: SchedulingPolicy,
+        cluster_config: ClusterConfig | None = None,
+        window: tuple[float, float] | None = None,
+        record_timeseries: bool = False,
+    ) -> "Simulation":
+        """A :class:`Simulation` with no pre-declared workload.
+
+        The batch constructor validates and sorts a complete job list up
+        front; an online driver (the service tenant engine) has no such
+        list — jobs arrive one event at a time and are admission-checked
+        at the door instead.  An open-ended simulation therefore starts
+        with an empty workload and is driven exclusively through
+        :meth:`consume_batch`; :meth:`run` would be meaningless (there is
+        no event horizon) and must not be called on it.  ``window``
+        defaults to ``(0, +inf)`` so the accumulated integrals cover the
+        whole stream; pass the batch run's window to reproduce its
+        accounting exactly.
+        """
+        sim = cls.__new__(cls)
+        sim.jobs = []
+        sim.policy = policy
+        sim.cluster = Cluster(cluster_config)
+        sim.window = window if window is not None else (0.0, float("inf"))
+        sim.record_timeseries = record_timeseries
+        sim.checkpoint = None
+        return sim
+
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Run to completion of every job and return the results."""
@@ -175,7 +225,6 @@ class Simulation:
             self.policy.on_simulation_end()
 
     def _run_loop(self, wall_start: float, st: LoopState) -> SimulationResult:
-        sanitize = sanitize_enabled()
         ckpt = self.checkpoint
         win_lo, win_hi = self.window
 
@@ -194,50 +243,7 @@ class Simulation:
                 st.saved_at = st.decision_count
             faults.fire("engine.step")
 
-            batch = st.events.pop_simultaneous()
-            now = batch[0].time
-            if sanitize:
-                self._sanitize_batch(batch, now, st.prev_time)
-
-            # Accumulate time-weighted statistics over [prev_time, now),
-            # clipped to the measurement window.
-            overlap = min(now, win_hi) - max(st.prev_time, win_lo)
-            if overlap > 0:
-                st.queue_integral += len(st.waiting) * overlap
-                st.busy_integral += self.cluster.used_nodes * overlap
-            st.prev_time = now
-
-            # State update: completions release nodes before arrivals are
-            # queued, mirroring the deterministic tie-break of the queue.
-            batch.sort(key=lambda e: (e.kind is not EventKind.FINISH, e.seq))
-            for event in batch:
-                job = event.payload
-                if event.kind is EventKind.FINISH:
-                    self.cluster.finish(job, now)
-                    st.completed.append(job)
-                    # Learning runtime sources (predictors) observe every
-                    # completion before the policy's own hook runs.
-                    self.policy.runtime_source.observe_completion(job, now)
-                    self.policy.on_finish(job, now)
-                else:
-                    job.mark_waiting()
-                    st.waiting.append(job)
-
-            # One scheduling decision per distinct event time.
-            st.decision_count += 1
-            if sanitize:
-                self._sanitize_queue(st.waiting, now)
-            running_view = self._running_view(now)
-            to_start = self.policy.decide(
-                now, tuple(st.waiting), running_view, self.cluster
-            )
-            self._start_jobs(to_start, st.waiting, st.events, now)
-
-            if st.timeseries is not None:
-                backlog = sum(j.nodes * j.runtime for j in st.waiting)
-                st.timeseries.record(
-                    now, len(st.waiting), self.cluster.used_nodes, backlog
-                )
+            self.consume_batch(st, st.events.pop_simultaneous())
 
         window_span = max(win_hi - win_lo, 1e-12)
         result = SimulationResult(
@@ -258,6 +264,79 @@ class Simulation:
                 "unfinished jobs (policy starvation or engine bug)"
             )
         return result
+
+    # ------------------------------------------------------------------
+    def consume_batch(
+        self,
+        st: LoopState,
+        batch: list[Event],
+        decide: DecideFn | None = None,
+    ) -> list[Job]:
+        """Process one simultaneous event batch; returns the jobs started.
+
+        This is the loop body of :meth:`run`, factored out so an
+        incremental driver (the service tenant engine) can feed batches as
+        they arrive and still execute the exact batch-loop semantics:
+        time-weighted accounting over ``[prev_time, now)``, completions
+        released before arrivals are queued, exactly one scheduling
+        decision per distinct event time, and engine-side validation of
+        the chosen jobs.  ``decide`` overrides *only* the policy
+        consultation (same signature and contract as
+        :meth:`~repro.simulator.policy.SchedulingPolicy.decide`); the
+        ``on_start``/``on_finish``/runtime-source hooks still go to
+        ``self.policy``, so tenant-held policy state stays consistent no
+        matter which rung of a degradation ladder answered.
+        """
+        sanitize = sanitize_enabled()
+        win_lo, win_hi = self.window
+        now = batch[0].time
+        if sanitize:
+            self._sanitize_batch(batch, now, st.prev_time)
+
+        # Accumulate time-weighted statistics over [prev_time, now),
+        # clipped to the measurement window.
+        overlap = min(now, win_hi) - max(st.prev_time, win_lo)
+        if overlap > 0:
+            st.queue_integral += len(st.waiting) * overlap
+            st.busy_integral += self.cluster.used_nodes * overlap
+        st.prev_time = now
+
+        # State update: completions release nodes before arrivals are
+        # queued, mirroring the deterministic tie-break of the queue.
+        batch.sort(key=lambda e: (e.kind is not EventKind.FINISH, e.seq))
+        for event in batch:
+            job = event.payload
+            if event.kind is EventKind.FINISH:
+                self.cluster.finish(job, now)
+                st.completed.append(job)
+                # Learning runtime sources (predictors) observe every
+                # completion before the policy's own hook runs.
+                self.policy.runtime_source.observe_completion(job, now)
+                self.policy.on_finish(job, now)
+            else:
+                job.mark_waiting()
+                st.waiting.append(job)
+
+        # One scheduling decision per distinct event time.
+        st.decision_count += 1
+        if sanitize:
+            self._sanitize_queue(st.waiting, now)
+        running_view = self._running_view(now)
+        if decide is None:
+            to_start = self.policy.decide(
+                now, tuple(st.waiting), running_view, self.cluster
+            )
+        else:
+            to_start = decide(now, tuple(st.waiting), running_view, self.cluster)
+        started = list(to_start)
+        self._start_jobs(started, st.waiting, st.events, now)
+
+        if st.timeseries is not None:
+            backlog = sum(j.nodes * j.runtime for j in st.waiting)
+            st.timeseries.record(
+                now, len(st.waiting), self.cluster.used_nodes, backlog
+            )
+        return started
 
     # ------------------------------------------------------------------
     # Debug-mode invariant checks (see repro.util.sanitize); all read-only.

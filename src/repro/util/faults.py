@@ -22,6 +22,13 @@ site                      what firing means
 ``cache.read``            a run-cache read observes torn/corrupt content
 ``cache.write``           a run-cache write persists corrupted bytes
 ``engine.step``           the simulation engine dies at a decision point
+``service.request``       decision-service request intake fails transiently
+                          (retried with backoff before the tenant loop
+                          answers; see ``docs/service.md``)
+``service.decide``        the service's primary decision path fails for one
+                          request (the degradation ladder must still answer)
+``service.snapshot``      a tenant-state snapshot persists corrupted bytes
+                          (recovery must fall back to an older snapshot)
 ========================  ====================================================
 
 Enable via the ``REPRO_FAULTS`` environment variable or
@@ -60,6 +67,9 @@ SITES: tuple[str, ...] = (
     "cache.read",
     "cache.write",
     "engine.step",
+    "service.request",
+    "service.decide",
+    "service.snapshot",
 )
 
 

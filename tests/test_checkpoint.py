@@ -127,6 +127,30 @@ def test_resume_survives_a_corrupt_newest_snapshot(tmp_path):
     assert run_signature(resumed) == run_signature(clean)
 
 
+def test_checkpoint_resume_under_compiled_engine_is_bit_identical(tmp_path):
+    """The interrupt/resume differential holds with the compiled search
+    kernel active: the engine choice rides inside the snapshot and the
+    resumed run finishes exactly like the uninterrupted compiled run."""
+    from repro.core.ckernel import have_compiled
+
+    if not have_compiled():
+        pytest.skip("compiled search kernel not built")
+
+    def compiled_policy():
+        policy = _policy()
+        policy.searcher.engine = "compiled"
+        return policy
+
+    clean = simulate(_workload(), compiled_policy())
+    config = CheckpointConfig(directory=tmp_path, every_decisions=25)
+    with injected_faults(FaultPlan.parse("seed=1,engine.step=1@120")):
+        with pytest.raises(InjectedFault):
+            simulate(_workload(), compiled_policy(), checkpoint=config)
+
+    resumed = resume_run(tmp_path)
+    assert run_signature(resumed) == run_signature(clean)
+
+
 def test_resumed_run_keeps_checkpointing(tmp_path):
     """A resumed run carries its config and keeps snapshotting forward."""
     _interrupted_run(tmp_path, after=120)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.ckernel import default_engine
 from repro.core.scheduler import SearchSchedulingPolicy, make_policy
 from repro.core.search import DiscrepancySearch
 from repro.simulator.engine import Simulation
@@ -140,7 +141,16 @@ def test_make_policy_selects_parallel_engine():
     assert policy.searcher.engine == "parallel"
     assert policy.searcher.search_workers == 2
     serial = make_policy("dds", "lxf", node_limit=500)
-    assert serial.searcher.engine == "fast"
+    # The sequential default is install-dependent: the compiled kernel
+    # when built (bit-identical, faster), the pure fast engine otherwise.
+    assert serial.searcher.engine == default_engine()
+    assert serial.searcher.engine in ("fast", "compiled")
+
+
+def test_make_policy_honours_pure_python_opt_out(monkeypatch):
+    monkeypatch.setenv("REPRO_PURE_PYTHON", "1")
+    assert default_engine() == "fast"
+    assert make_policy("dds", "lxf", node_limit=500).searcher.engine == "fast"
 
 
 # ----------------------------------------------------------------------

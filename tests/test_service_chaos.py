@@ -1,0 +1,476 @@
+"""Chaos suite for the decision service (``repro.service``).
+
+The service promise under injected faults (``docs/service.md``): every
+accepted request gets exactly one structurally valid response within
+``deadline + grace``; any answer weaker than the primary policy is
+labeled ``degraded`` with its ladder mode; overload sheds instead of
+hanging; and a crashed service recovers tenants from their snapshots to
+a state that finishes the trace exactly as the batch simulator would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.backfill import fcfs_backfill
+from repro.cli import parse_policy
+from repro.service.api import (
+    STATUSES,
+    DecisionRequest,
+    JobSpec,
+    TenantSLO,
+)
+from repro.service.executor import (
+    MODES,
+    CircuitBreaker,
+    DecisionLadder,
+    LadderConfig,
+)
+from repro.service.service import AdmissionError, DecisionService, ServiceConfig
+from repro.service.tenant import TenantEngine
+from repro.simulator.cluster import Cluster
+from repro.simulator.engine import Simulation
+from repro.util.faults import FaultPlan, faults_suppressed, injected_faults
+from repro.util.rng import RngStream
+from repro.util.timeunits import HOUR, time_eq
+from repro.workloads.synthetic import generate_month
+from tests.conftest import make_job, small_cluster
+
+#: Degraded rungs: anything the ladder answers after the primary failed.
+DEGRADED_MODES = frozenset(MODES) - {"search:pool", "search"}
+
+
+def _workload():
+    return generate_month("2003-07", seed=2005, scale=0.02)
+
+
+def _search_policy():
+    return parse_policy("dds/lxf/dynB", 200, True)
+
+
+def _job_times(jobs):
+    return {j.job_id: (j.start_time, j.end_time) for j in jobs}
+
+
+def _trace_requests(tenant_id, jobs):
+    """One request per distinct submit instant (the tenant contract)."""
+    ordered = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+    groups: list[list] = []
+    for job in ordered:
+        if groups and time_eq(job.submit_time, groups[-1][0].submit_time):
+            groups[-1].append(job)
+        else:
+            groups.append([job])
+    return [
+        DecisionRequest(
+            tenant=tenant_id,
+            now=group[0].submit_time,
+            arrivals=tuple(JobSpec.from_job(j) for j in group),
+        )
+        for group in groups
+    ]
+
+
+async def _drive(service, tenant_id, requests, seed):
+    """Closed-loop synthetic driver: one response awaited per request."""
+    stream = RngStream(seed, f"chaos/{tenant_id}")
+    now = 0.0
+    responses = []
+    for i in range(requests):
+        now += float(stream.uniform(60.0, 900.0))
+        arrivals = tuple(
+            JobSpec(
+                job_id=i * 3 + k,
+                nodes=int(stream.integers(1, 5)),
+                runtime=float(stream.uniform(300.0, HOUR)),
+            )
+            for k in range(int(stream.integers(1, 3)))
+        )
+        responses.append(
+            await service.submit(
+                DecisionRequest(tenant=tenant_id, now=now, arrivals=arrivals)
+            )
+        )
+    return responses
+
+
+def _chaos_service(slo=None, **config_kwargs):
+    return DecisionService(
+        lambda tenant_id: fcfs_backfill(),
+        config=ServiceConfig(default_slo=slo or TenantSLO(), **config_kwargs),
+        cluster_config=small_cluster(8),
+    )
+
+
+# ----------------------------------------------------------------------
+# The headline chaos property
+# ----------------------------------------------------------------------
+def test_chaos_every_request_gets_a_valid_labeled_response():
+    """Under intake and decide faults: one response per request, every
+    status legal, every weakened answer labeled with its ladder mode,
+    nothing blows the deadline+grace envelope."""
+    plan = FaultPlan.parse("seed=7,service.request=0.3,service.decide=0.5")
+    slo = TenantSLO(deadline_seconds=5.0, grace_seconds=5.0, max_retries=2)
+
+    async def scenario():
+        service = _chaos_service(slo=slo)
+        for tenant_id in ("alpha", "beta"):
+            service.register_tenant(tenant_id)
+        async with service:
+            batches = await asyncio.gather(
+                _drive(service, "alpha", 30, seed=11),
+                _drive(service, "beta", 30, seed=12),
+            )
+        return service, [r for batch in batches for r in batch]
+
+    with injected_faults(plan) as injector:
+        service, responses = asyncio.run(scenario())
+
+    assert len(responses) == 60  # one response per request, none lost
+    assert injector.fired["service.decide"] > 0  # the chaos actually bit
+    degraded_seen = 0
+    for response in responses:
+        assert response.status in STATUSES
+        assert response.latency_seconds <= (
+            response.deadline_seconds + slo.grace_seconds
+        )
+        if response.status == "ok":
+            for decision in response.decisions:
+                assert decision.mode in MODES
+                if decision.degraded:
+                    assert decision.mode in DEGRADED_MODES
+            assert response.degraded == any(
+                d.degraded for d in response.decisions
+            )
+            degraded_seen += response.degraded
+        else:
+            assert response.status == "error"  # never silently dropped
+            assert response.error
+    assert degraded_seen > 0  # the ladder demonstrably descended
+    assert service.stats["requests"] == 60
+    assert (
+        service.stats["ok"] + service.stats["errors"] == 60
+    )  # nothing shed or rejected in this scenario
+
+
+def test_intake_fault_exhaustion_surfaces_error_not_hang():
+    plan = FaultPlan.parse("seed=3,service.request=1.0")
+    slo = TenantSLO(deadline_seconds=5.0, max_retries=1)
+
+    async def scenario():
+        service = _chaos_service(slo=slo)
+        service.register_tenant("t")
+        async with service:
+            return await service.submit(
+                DecisionRequest(
+                    tenant="t", now=1.0,
+                    arrivals=(JobSpec(job_id=1, nodes=1, runtime=HOUR),),
+                )
+            )
+
+    with injected_faults(plan):
+        response = asyncio.run(scenario())
+    assert response.status == "error"
+    assert "intake failed" in response.error
+    assert "1 retries" in response.error
+
+
+def test_decide_faults_always_degrade_never_fail():
+    """With the primary path failing on every decision, the anytime rung
+    of the search policy answers — degraded, labeled, still valid."""
+    plan = FaultPlan.parse("seed=5,service.decide=1.0")
+
+    async def scenario():
+        service = DecisionService(
+            lambda tenant_id: _search_policy(),
+            config=ServiceConfig(
+                default_slo=TenantSLO(deadline_seconds=10.0)
+            ),
+            cluster_config=small_cluster(8),
+        )
+        service.register_tenant("t")
+        async with service:
+            return await _drive(service, "t", 10, seed=21)
+
+    with injected_faults(plan):
+        responses = asyncio.run(scenario())
+    assert all(r.status == "ok" for r in responses)
+    assert all(r.degraded for r in responses)
+    modes = {d.mode for r in responses for d in r.decisions}
+    assert modes <= DEGRADED_MODES
+    assert "anytime" in modes  # the searcher's best-so-far rung engaged
+
+
+# ----------------------------------------------------------------------
+# Overload and admission control
+# ----------------------------------------------------------------------
+def test_try_submit_sheds_on_a_full_queue_without_touching_state():
+    async def scenario():
+        service = _chaos_service(slo=TenantSLO(queue_limit=1))
+        service.register_tenant("t")
+        async with service:
+            requests = [
+                DecisionRequest(
+                    tenant="t", now=10.0,
+                    arrivals=(JobSpec(job_id=i, nodes=1, runtime=HOUR),),
+                )
+                for i in range(20)
+            ]
+            responses = await asyncio.gather(
+                *(service.try_submit(r) for r in requests)
+            )
+            return service, responses
+
+    service, responses = asyncio.run(scenario())
+    by_status = {s: sum(r.status == s for r in responses) for s in STATUSES}
+    assert by_status["ok"] == 1  # the one that fit the queue
+    assert by_status["shed"] == 19
+    assert service.stats["shed"] == 19
+    # Shed requests never reached the engine: one decision, one job.
+    engine = service.tenant("t")
+    assert engine.decision_count == 1
+    assert len(engine.jobs) == 1
+
+
+def test_admission_control_rejects_bad_ids_duplicates_and_overflow():
+    async def scenario():
+        service = _chaos_service(max_tenants=2)
+        service.register_tenant("a")
+        with pytest.raises(AdmissionError, match="invalid tenant id"):
+            service.register_tenant("../escape")
+        with pytest.raises(AdmissionError, match="already registered"):
+            service.register_tenant("a")
+        service.register_tenant("b")
+        with pytest.raises(AdmissionError, match="full"):
+            service.register_tenant("c")
+        with pytest.raises(AdmissionError, match="unknown tenant"):
+            await service.submit(DecisionRequest(tenant="ghost", now=1.0))
+        await service.close()
+        with pytest.raises(AdmissionError, match="closed"):
+            service.register_tenant("late")
+
+    asyncio.run(scenario())
+
+
+def test_contract_violations_are_rejected_responses():
+    async def scenario():
+        service = _chaos_service()
+        service.register_tenant("t")
+        async with service:
+            ok = await service.submit(
+                DecisionRequest(
+                    tenant="t", now=5.0,
+                    arrivals=(JobSpec(job_id=1, nodes=1, runtime=HOUR),),
+                )
+            )
+            stale = await service.submit(
+                DecisionRequest(
+                    tenant="t", now=5.0,
+                    arrivals=(JobSpec(job_id=2, nodes=1, runtime=HOUR),),
+                )
+            )
+            return service, ok, stale
+
+    service, ok, stale = asyncio.run(scenario())
+    assert ok.status == "ok"
+    assert stale.status == "rejected"
+    assert "watermark" in stale.error
+    assert service.stats["rejected"] == 1
+    assert 2 not in service.tenant("t").jobs  # rejection mutated nothing
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+def test_breaker_opens_probes_and_recovers():
+    breaker = CircuitBreaker(threshold=2, probe_after=3)
+    assert breaker.allow() and breaker.phase == "closed"
+    breaker.record_failure()
+    assert breaker.phase == "closed"
+    breaker.record_failure()
+    assert breaker.phase == "open"
+    assert not breaker.allow()
+    assert not breaker.allow()
+    assert breaker.allow()  # third rejected consult becomes the probe
+    assert breaker.phase == "half-open"
+    assert not breaker.allow()  # only one probe in flight
+    breaker.record_failure()  # probe failed: straight back to open
+    assert breaker.phase == "open"
+    assert not breaker.allow() and not breaker.allow()
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.phase == "closed" and breaker.failures == 0
+
+
+def test_breaker_validates_config():
+    with pytest.raises(ValueError, match="threshold"):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ValueError, match="probe_after"):
+        CircuitBreaker(probe_after=0)
+
+
+def test_pool_rung_failure_trips_breaker_and_falls_back_inline(monkeypatch):
+    """A pool that cannot warm up (and has no respawn budget) costs one
+    failed rung, trips the breaker, and every answer still arrives from
+    the inline full policy — the permanent-inline-fallback edge."""
+    from repro.util.workerpool import get_pool, shutdown_all
+
+    shutdown_all()
+    monkeypatch.setenv("REPRO_POOL_WARMUP_TIMEOUT", "1e-9")
+    monkeypatch.setenv("REPRO_POOL_RESPAWNS", "0")
+    try:
+        ladder = DecisionLadder(
+            fcfs_backfill(),
+            LadderConfig(pool_workers=2, breaker_threshold=1),
+        )
+        cluster = Cluster(small_cluster(8))
+        first = make_job(nodes=1, waiting=True)
+        jobs, mode, degraded = ladder.decide(0.0, (first,), (), cluster)
+        assert (jobs, mode, degraded) == ([first], "search", False)
+        assert ladder.stats["pool_failures"] == 1
+        assert ladder.breaker.phase == "open"
+        assert get_pool(2).failed  # zero respawn budget: permanently out
+
+        second = make_job(nodes=1, waiting=True)
+        jobs, mode, degraded = ladder.decide(10.0, (second,), (), cluster)
+        assert (jobs, mode, degraded) == ([second], "search", False)
+        assert ladder.stats["search"] == 2  # breaker skipped the pool rung
+        assert ladder.stats["pool_failures"] == 1
+    finally:
+        shutdown_all()
+
+
+# ----------------------------------------------------------------------
+# Snapshot corruption and crash recovery
+# ----------------------------------------------------------------------
+def test_snapshot_fault_corrupts_save_and_recovery_falls_back(tmp_path):
+    from repro.service.recovery import latest_tenant_snapshot, snapshot_tenant
+
+    engine = TenantEngine("t", fcfs_backfill(), cluster_config=small_cluster(4))
+    engine.handle(
+        DecisionRequest(
+            tenant="t", now=10.0,
+            arrivals=(JobSpec(job_id=1, nodes=1, runtime=HOUR),),
+        )
+    )
+    with faults_suppressed():  # this save must survive an ambient plan
+        snapshot_tenant(engine, tmp_path, keep=4)
+    good_count = engine.decision_count
+    engine.handle(
+        DecisionRequest(
+            tenant="t", now=20.0,
+            arrivals=(JobSpec(job_id=2, nodes=1, runtime=HOUR),),
+        )
+    )
+    with injected_faults(FaultPlan.parse("seed=1,service.snapshot=1.0")):
+        snapshot_tenant(engine, tmp_path, keep=4)  # written, but torn
+
+    recovered = latest_tenant_snapshot(tmp_path, "t")
+    assert recovered is not None
+    assert recovered.decision_count == good_count  # skipped the torn one
+
+
+@pytest.mark.fault_sensitive  # asserts bit-identical replay decisions
+def test_crashed_service_recovers_tenant_and_finishes_the_trace(tmp_path):
+    """Crash-recovery equivalence: run part of a trace, "crash" (drop the
+    service without closing), re-register the tenant in a fresh service,
+    re-send the whole trace — pre-watermark requests bounce off the
+    watermark, the rest complete, and the final schedule is exactly the
+    batch simulator's."""
+    workload = _workload()
+    batch = Simulation(
+        workload.fresh_jobs(), _search_policy(), workload.cluster,
+        window=workload.window,
+    ).run()
+    requests = _trace_requests("t", workload.fresh_jobs())
+
+    def service_for(root):
+        return DecisionService(
+            lambda tenant_id: _search_policy(),
+            config=ServiceConfig(
+                default_slo=TenantSLO(deadline_seconds=30.0),
+                snapshot_root=root,
+                snapshot_every_decisions=8,
+            ),
+            cluster_config=workload.cluster,
+        )
+
+    async def first_life():
+        service = service_for(tmp_path)
+        service.register_tenant("t")
+        for request in requests[: len(requests) * 2 // 3]:
+            response = await service.submit(request)
+            assert response.status == "ok"
+        # No close(): the process "crashes" here.  Snapshots on disk are
+        # all that survives.
+        return service.stats["snapshots"]
+
+    snapshots_written = asyncio.run(first_life())
+    assert snapshots_written > 0
+
+    async def second_life():
+        service = service_for(tmp_path)
+        engine = service.register_tenant("t")  # resumes from newest snapshot
+        assert service.stats["recovered_tenants"] == 1
+        watermark = engine.decided_through
+        assert watermark > float("-inf")
+        statuses = []
+        async with service:
+            for request in requests:
+                response = await service.submit(request)
+                statuses.append((request.now, response.status))
+            drain = await service.submit(
+                DecisionRequest(tenant="t", now=batch.sim_end_time + 1.0)
+            )
+            assert drain.status == "ok"
+            job_spans = _job_times(service.tenant("t").completed_jobs)
+        return watermark, statuses, job_spans
+
+    watermark, statuses, job_spans = asyncio.run(second_life())
+    for now, status in statuses:
+        assert status == ("rejected" if now <= watermark else "ok")
+    assert any(status == "ok" for _, status in statuses)  # work was replayed
+    assert job_spans == _job_times(batch.jobs)
+
+
+@pytest.mark.fault_sensitive  # injected decide faults change decisions
+def test_fault_free_service_run_matches_batch_run():
+    """The full async stack — queues, executor threads, the ladder — adds
+    nothing and removes nothing: fault-free decisions are the batch
+    simulator's, with every response labeled not-degraded."""
+    workload = _workload()
+    batch = Simulation(
+        workload.fresh_jobs(), _search_policy(), workload.cluster,
+        window=workload.window,
+    ).run()
+
+    async def scenario():
+        service = DecisionService(
+            lambda tenant_id: _search_policy(),
+            config=ServiceConfig(
+                default_slo=TenantSLO(deadline_seconds=30.0)
+            ),
+            cluster_config=workload.cluster,
+        )
+        service.register_tenant("t")
+        async with service:
+            responses = []
+            for request in _trace_requests("t", workload.fresh_jobs()):
+                responses.append(await service.submit(request))
+            responses.append(
+                await service.submit(
+                    DecisionRequest(tenant="t", now=batch.sim_end_time + 1.0)
+                )
+            )
+            job_spans = _job_times(service.tenant("t").completed_jobs)
+            count = service.tenant("t").decision_count
+        return responses, job_spans, count
+
+    responses, job_spans, count = asyncio.run(scenario())
+    assert all(r.status == "ok" and not r.degraded for r in responses)
+    modes = {d.mode for r in responses for d in r.decisions}
+    assert modes == {"search"}
+    assert count == batch.decision_count
+    assert job_spans == _job_times(batch.jobs)

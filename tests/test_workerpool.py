@@ -151,6 +151,37 @@ def test_warmup_deadline_overrun_marks_pool_broken_not_raises():
         pool.submit(_square, 1)
 
 
+def test_zero_respawn_budget_is_immediately_permanent(monkeypatch):
+    """``REPRO_POOL_RESPAWNS=0`` means the first breakage is the last:
+    no credit is ever available, so callers drop straight into the
+    permanent inline fallback."""
+    monkeypatch.setenv("REPRO_POOL_RESPAWNS", "0")
+    pool = WorkerPool(1)
+    assert pool.max_respawns == 0
+    assert pool.ensure_started(warm=False)
+    pool.mark_broken()
+    assert not pool.respawn()
+    assert pool.respawns_used == 0
+    assert pool.failed
+    assert not pool.ensure_started()
+    with pytest.raises(RuntimeError):
+        pool.submit(_square, 1)
+
+
+def test_deadline_expiring_during_warmup_degrades_then_respawns():
+    """A result deadline that expires while the warm-up wave is still
+    forking workers breaks the pool (callers fall back inline) rather
+    than raising — and a respawn credit plus a sane deadline revives it."""
+    pool = WorkerPool(1, warmup_deadline=1e-4, max_respawns=1)
+    assert not pool.ensure_started(warm=True)  # forking takes > 0.1 ms
+    assert pool.failed
+    assert pool.respawn()
+    pool.warmup_deadline = workerpool.DEFAULT_WARMUP_TIMEOUT
+    assert pool.ensure_started(warm=True)
+    assert pool.submit(_square, 5).result(timeout=60) == 25
+    pool.shutdown()
+
+
 def test_warmup_deadline_env_override(monkeypatch):
     monkeypatch.setenv("REPRO_POOL_WARMUP_TIMEOUT", "123.5")
     assert WorkerPool(1).warmup_deadline == 123.5
